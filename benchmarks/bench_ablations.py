@@ -1,0 +1,46 @@
+"""Ablation benchmarks: staggered checkpoints, tuple-scale invariance, DP beam."""
+
+from repro.experiments.ablations import (
+    ablate_checkpoint_stagger,
+    ablate_dp_beam,
+    ablate_tuple_scale,
+)
+
+from benchmarks.conftest import record_figure
+
+
+def test_ablation_checkpoint_stagger(benchmark):
+    result = benchmark.pedantic(
+        ablate_checkpoint_stagger,
+        kwargs=dict(rates=(1000.0,), tuple_scale=32.0),
+        rounds=1, iterations=1,
+    )
+    record_figure(result)
+    _rate, staggered, aligned = result.rows[0]
+    # Asynchronous checkpoints force synchronisation during correlated
+    # recovery; aligning them must not make recovery slower.
+    assert staggered >= aligned - 0.5
+
+
+def test_ablation_tuple_scale_invariance(benchmark):
+    result = benchmark.pedantic(
+        ablate_tuple_scale, kwargs=dict(scales=(16.0, 32.0)),
+        rounds=1, iterations=1,
+    )
+    record_figure(result)
+    latencies = [row[1] for row in result.rows]
+    spread = max(latencies) - min(latencies)
+    assert spread < 0.25 * max(latencies), (
+        "virtual-time results must not depend on the tuple scale"
+    )
+
+
+def test_ablation_dp_beam(benchmark):
+    result = benchmark.pedantic(
+        ablate_dp_beam, kwargs=dict(n_topologies=4), rounds=1, iterations=1,
+    )
+    record_figure(result)
+    means = {row[0]: row[-1] for row in result.rows}
+    # The exact DP upper-bounds every beam setting.
+    for label, mean in means.items():
+        assert means["exact"] >= mean - 1e-9

@@ -1,0 +1,65 @@
+"""Microbenchmarks of the core primitives (not tied to one figure).
+
+These give contributors a regression baseline for the hot paths: OF
+evaluation, MC-tree enumeration, and the three planner families.
+"""
+
+from repro.core import (
+    DynamicProgrammingPlanner,
+    GreedyPlanner,
+    StructureAwarePlanner,
+    enumerate_mc_trees,
+    worst_case_fidelity,
+)
+from repro.topology import (
+    TopologySpec,
+    generate_source_rates,
+    generate_topology,
+    linear_chain,
+    propagate_rates,
+    uniform_source_rates,
+)
+
+
+def _random_instance(seed: int = 42):
+    spec = TopologySpec(n_operators=(6, 8), parallelism=(3, 6))
+    topology = generate_topology(spec, seed)
+    rates = propagate_rates(topology, generate_source_rates(topology, seed))
+    return topology, rates
+
+
+def test_bench_fidelity_evaluation(benchmark):
+    topology, rates = _random_instance()
+    plan = frozenset(list(topology.tasks())[: topology.num_tasks // 2])
+    value = benchmark(worst_case_fidelity, topology, rates, plan)
+    assert 0.0 <= value <= 1.0
+
+
+def test_bench_mc_tree_enumeration(benchmark):
+    topology = linear_chain([4, 4, 4, 2])
+    trees = benchmark(enumerate_mc_trees, topology)
+    assert len(trees) == 4 * 4 * 4 * 2
+
+
+def test_bench_greedy_planner(benchmark):
+    topology, rates = _random_instance()
+    plan = benchmark(GreedyPlanner().plan, topology, rates,
+                     topology.num_tasks // 3)
+    assert plan.usage <= topology.num_tasks // 3
+
+
+def test_bench_structure_aware_planner(benchmark):
+    topology, rates = _random_instance()
+    plan = benchmark.pedantic(
+        StructureAwarePlanner().plan,
+        args=(topology, rates, topology.num_tasks // 3),
+        rounds=2, iterations=1,
+    )
+    assert plan.usage <= topology.num_tasks // 3
+
+
+def test_bench_dp_planner_small(benchmark):
+    topology = linear_chain([2, 2, 2])
+    rates = propagate_rates(topology, uniform_source_rates(topology, 10.0))
+    plan = benchmark(DynamicProgrammingPlanner().plan, topology, rates, 4)
+    assert plan.usage <= 4

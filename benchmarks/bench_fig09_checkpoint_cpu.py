@@ -1,0 +1,26 @@
+"""Fig. 9: CPU cost of maintaining checkpoints vs checkpoint interval."""
+
+from repro.experiments.checkpoint_cost import checkpoint_cpu_ratio, fig9
+
+from benchmarks.conftest import record_figure
+
+SCALE = 32.0
+
+
+def test_fig9_checkpoint_cpu(benchmark):
+    result = fig9(intervals=(1.0, 5.0, 15.0, 30.0), rates=(1000.0, 2000.0),
+                  duration=30.0, tuple_scale=SCALE)
+    record_figure(result)
+
+    # The headline shape: ratio falls sharply as the interval grows; 1 s
+    # checkpoints are prohibitively expensive.
+    first_rate = [row[1] for row in result.rows]
+    assert first_rate == sorted(first_rate, reverse=True)
+    assert first_rate[0] > 4 * first_rate[-1]
+
+    benchmark.pedantic(
+        checkpoint_cpu_ratio,
+        kwargs=dict(rate=1000.0, interval=5.0, duration=30.0,
+                    tuple_scale=SCALE),
+        rounds=1, iterations=1,
+    )

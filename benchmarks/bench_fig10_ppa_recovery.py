@@ -1,0 +1,24 @@
+"""Fig. 10: correlated-failure recovery latency under PPA plans."""
+
+from repro.experiments.recovery import fig10
+
+from benchmarks.conftest import record_figure
+
+SCALE = 16.0
+
+
+def test_fig10_ppa_recovery(benchmark):
+    result = benchmark.pedantic(
+        fig10,
+        kwargs=dict(rates=(1000.0,), checkpoint_intervals=(5.0, 15.0, 30.0),
+                    tuple_scale=SCALE),
+        rounds=1, iterations=1,
+    )
+    record_figure(result)
+
+    for row in result.rows:
+        cells = dict(zip(result.headers, row))
+        # The paper's ordering: PPA-1.0 fastest, hybrid in between, passive
+        # slowest; the actively replicated subtree recovers like PPA-1.0.
+        assert cells["PPA-1.0"] <= cells["PPA-0.5"] <= cells["PPA-0"] + 1e-6
+        assert cells["PPA-0.5-active"] <= cells["PPA-0.5"]

@@ -1,0 +1,49 @@
+"""Fig. 14(a–d): SA vs Greedy mean OF over random topologies."""
+
+import pytest
+
+from repro.experiments.random_topologies import VARIANTS, fig14
+
+from benchmarks.conftest import record_figure
+
+FRACTIONS = (0.2, 0.5, 0.8)
+N_TOPOLOGIES = 8
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_fig14_variant(benchmark, variant):
+    result = benchmark.pedantic(
+        fig14, args=(variant,),
+        kwargs=dict(fractions=FRACTIONS, n_topologies=N_TOPOLOGIES),
+        rounds=1, iterations=1,
+    )
+    record_figure(result)
+
+    labels = [h for h in result.headers[1:] if h.startswith("SA-")]
+    for label in labels:
+        greedy_label = "Greedy-" + label[len("SA-"):]
+        sa_curve = []
+        greedy_curve = []
+        for row in result.rows:
+            cells = dict(zip(result.headers, row))
+            sa_curve.append(cells[label])
+            greedy_curve.append(cells[greedy_label])
+        sa_mean = sum(sa_curve) / len(sa_curve)
+        greedy_mean = sum(greedy_curve) / len(greedy_curve)
+        if label == "SA-full":
+            # Paper: on full topologies SA degenerates to greedy-like
+            # behaviour ("their performances are close"); additionally SA
+            # yields 0 below the one-task-per-operator base budget
+            # (Algorithm 5 lines 3-4), so only near-parity is expected.
+            assert sa_mean >= greedy_mean - 0.1, (
+                f"{label} mean fell far below {greedy_label}"
+            )
+        else:
+            # Everywhere else SA must dominate on average, with the largest
+            # gap at small replication fractions (the paper's headline).
+            assert sa_mean >= greedy_mean - 0.03, (
+                f"{label} mean fell below {greedy_label}"
+            )
+            assert sa_curve[0] >= greedy_curve[0] - 0.02, (
+                f"{label} lost at the smallest fraction"
+            )

@@ -1,0 +1,29 @@
+"""Benchmark-suite plumbing: collect reproduced figures and print them.
+
+Each benchmark regenerates one figure of the paper at a reduced scale and
+registers the resulting table here; the tables are printed in the terminal
+summary so ``pytest benchmarks/ --benchmark-only`` shows the reproduced
+series alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+_figures = []
+
+
+def record_figure(result) -> None:
+    """Register a FigureResult for the end-of-run summary."""
+    _figures.append(result)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _figures:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 70)
+    terminalreporter.write_line("Reproduced figures (reduced benchmark scale)")
+    terminalreporter.write_line("=" * 70)
+    for result in _figures:
+        for line in result.render().splitlines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line("")

@@ -1,0 +1,65 @@
+"""Planner playground: DP vs SA vs Greedy across budgets on random topologies.
+
+Generates a random query topology (Sec. VI-C generator), prints it, and
+sweeps the replication budget from one task to the whole topology, showing
+the worst-case Output Fidelity each planner achieves.
+
+Run:  python examples/planner_playground.py [seed]
+"""
+
+import sys
+
+from repro.core import (
+    DynamicProgrammingPlanner,
+    GreedyPlanner,
+    StructureAwarePlanner,
+    count_mc_tree_derivations,
+    worst_case_fidelity,
+)
+from repro.errors import MCTreeExplosionError
+from repro.topology import (
+    TopologySpec,
+    WeightSkew,
+    generate_source_rates,
+    generate_topology,
+    propagate_rates,
+)
+
+
+def main(seed: int = 11):
+    spec = TopologySpec(n_operators=(4, 6), parallelism=(2, 4),
+                        weight_skew=WeightSkew.ZIPF, zipf_s=0.5,
+                        join_fraction=0.25)
+    topology = generate_topology(spec, seed)
+    rates = propagate_rates(topology, generate_source_rates(topology, seed))
+    print(topology.describe())
+    print(f"\nMC-tree derivations: {count_mc_tree_derivations(topology)}; "
+          f"tasks: {topology.num_tasks}\n")
+
+    planners = [GreedyPlanner(), StructureAwarePlanner()]
+    try:
+        DynamicProgrammingPlanner(tree_limit=2000).plan(topology, rates, 1)
+        planners.append(DynamicProgrammingPlanner(tree_limit=2000))
+    except MCTreeExplosionError:
+        print("(DP skipped: too many MC-trees to enumerate)\n")
+
+    budgets = sorted({
+        max(1, topology.num_tasks * pct // 100) for pct in (10, 25, 50, 75, 100)
+    })
+    header = f"{'budget':>6} | " + " | ".join(f"{p.name:>7}" for p in planners)
+    print(header)
+    print("-" * len(header))
+    for budget in budgets:
+        cells = []
+        for planner in planners:
+            plan = planner.plan(topology, rates, budget)
+            cells.append(worst_case_fidelity(topology, rates, plan.replicated))
+        print(f"{budget:>6} | " + " | ".join(f"{v:>7.3f}" for v in cells))
+
+    print("\nGreedy replicates individually-critical tasks; SA buys complete "
+          "MC-trees, so it\ndominates at small budgets — the gap the paper "
+          "reports in Fig. 13 and Fig. 14.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 11)

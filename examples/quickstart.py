@@ -1,0 +1,83 @@
+"""Quickstart: plan active replication for a topology and see what it buys.
+
+Builds a small aggregation topology, computes Output Fidelity under the
+worst-case correlated failure for plans produced by the greedy and the
+structure-aware planners, then actually runs the topology on the simulated
+engine, kills everything outside the SA plan, and shows tentative outputs
+flowing.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    GreedyPlanner,
+    StructureAwarePlanner,
+    budget_from_fraction,
+    worst_case_fidelity,
+)
+from repro.engine import EngineConfig, LogicFactory, StreamEngine
+from repro.queries import WindowedSelectivityOperator
+from repro.topology import (
+    Partitioning,
+    TopologyBuilder,
+    propagate_rates,
+    uniform_source_rates,
+)
+from repro.workloads import UniformRateSource
+
+
+def build_topology():
+    """Four sources feeding a two-level aggregation with a single sink."""
+    return (
+        TopologyBuilder()
+        .source("sensors", 4)
+        .operator("preagg", 4, selectivity=0.5)
+        .operator("merge", 2, selectivity=0.5)
+        .operator("report", 1)
+        .connect("sensors", "preagg", Partitioning.ONE_TO_ONE)
+        .connect("preagg", "merge", Partitioning.MERGE)
+        .connect("merge", "report", Partitioning.MERGE)
+        .build()
+    )
+
+
+def main():
+    topology = build_topology()
+    print(topology.describe())
+    rates = propagate_rates(topology, uniform_source_rates(topology, 100.0))
+
+    budget = budget_from_fraction(topology, 0.4)
+    print(f"\nReplication budget: {budget} of {topology.num_tasks} tasks (40%)\n")
+
+    for planner in (GreedyPlanner(), StructureAwarePlanner()):
+        plan = planner.plan(topology, rates, budget)
+        fidelity = worst_case_fidelity(topology, rates, plan.replicated)
+        tasks = ", ".join(str(t) for t in sorted(plan.replicated))
+        print(f"{planner.name:>7}: OF = {fidelity:.3f}  plan = [{tasks}]")
+
+    # Run the SA plan on the engine and kill everything else.
+    plan = StructureAwarePlanner().plan(topology, rates, budget)
+    logic = LogicFactory()
+    logic.register_source("sensors", UniformRateSource(50.0))
+    for name in ("preagg", "merge", "report"):
+        logic.register_operator(name, lambda: WindowedSelectivityOperator(10.0, 1.0))
+
+    config = EngineConfig(checkpoint_interval=None, tentative_outputs=True,
+                          recovery_enabled=False)
+    engine = StreamEngine(topology, logic, config, plan=plan.replicated)
+    victims = [t for t in topology.tasks() if t not in plan.replicated]
+    engine.schedule_task_failure(10.0, victims)
+    engine.run(20.0)
+
+    complete = engine.metrics.sink_outputs(tentative=False)
+    tentative = engine.metrics.sink_outputs(tentative=True)
+    print(f"\nEngine run: {len(complete)} complete output batches, "
+          f"{len(tentative)} tentative ones after the correlated failure.")
+    if tentative:
+        sizes = [len(r.tuples) for r in tentative[-3:]]
+        print(f"Tentative batches keep flowing (last sizes: {sizes}) — "
+              "computed from the replicated MC-trees only.")
+
+
+if __name__ == "__main__":
+    main()

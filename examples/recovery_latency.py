@@ -1,0 +1,43 @@
+"""Recovery-latency shootout on the Fig. 6 workload (Sec. VI-A).
+
+Injects a correlated failure (all 15 operator tasks at once) under each
+fault-tolerance technique and reports how long it takes until every task has
+caught up with its pre-failure progress vector — the paper's recovery-latency
+definition.
+
+Run:  python examples/recovery_latency.py
+"""
+
+from repro.experiments.recovery import (
+    DEFAULT_TECHNIQUES,
+    correlated_failure_latency,
+    single_failure_latency,
+)
+from repro.topology import TaskId
+
+
+def main():
+    window, rate = 10.0, 1000.0
+    print(f"Fig. 6 workload: 16 sources @ {rate:g} t/s, {window:g}s windows, "
+          "operators 8/4/2/1\n")
+
+    print(f"{'technique':>15} | {'single failure':>14} | {'correlated':>10}")
+    print("-" * 47)
+    for technique in DEFAULT_TECHNIQUES:
+        single = single_failure_latency(
+            technique, window=window, rate=rate,
+            positions=(TaskId("O2", 0),), tuple_scale=16.0,
+        )
+        correlated = correlated_failure_latency(
+            technique, window=window, rate=rate, tuple_scale=16.0,
+        )
+        print(f"{technique.label:>15} | {single:>13.2f}s | {correlated:>9.2f}s")
+
+    print("\nActive replicas recover in roughly constant time; checkpoint "
+          "recovery grows\nwith the checkpoint interval; Storm replays whole "
+          "windows through the topology\nand pays for upstream "
+          "synchronisation on correlated failures.")
+
+
+if __name__ == "__main__":
+    main()

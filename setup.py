@@ -1,0 +1,14 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this machine has no network access and no ``wheel``
+distribution, so PEP 660 editable wheels cannot be built; this shim lets the
+legacy ``setup.py develop`` editable path work instead:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

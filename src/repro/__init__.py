@@ -1,0 +1,114 @@
+"""PPA: Passive and Partially Active fault tolerance for MPSPEs.
+
+A complete reproduction of Su & Zhou, *"Tolerating Correlated Failures in
+Massively Parallel Stream Processing Engines"* (ICDE 2016): the Output
+Fidelity metric, the replication planners (dynamic programming, greedy,
+structured, full-topology, structure-aware), and a deterministic
+discrete-event MPSPE on which the paper's recovery and tentative-output
+experiments run.
+
+Quickstart
+----------
+>>> import repro
+>>> topo = repro.linear_chain([4, 4, 2, 1])
+>>> rates = repro.propagate_rates(topo, repro.uniform_source_rates(topo, 1000.0))
+>>> plan = repro.StructureAwarePlanner().plan(topo, rates, budget=6)
+>>> 0.0 <= repro.worst_case_fidelity(topo, rates, plan.replicated) <= 1.0
+True
+"""
+
+from repro.core import (
+    IC_OBJECTIVE,
+    OF_OBJECTIVE,
+    BruteForcePlanner,
+    DynamicProgrammingPlanner,
+    FullTopologyPlanner,
+    GreedyPlanner,
+    Planner,
+    PlanObjective,
+    ReplicationPlan,
+    StructureAwarePlanner,
+    StructuredTopologyPlanner,
+    budget_from_fraction,
+    enumerate_mc_trees,
+    internal_completeness,
+    output_fidelity,
+    worst_case_completeness,
+    worst_case_fidelity,
+)
+from repro.errors import (
+    ExperimentError,
+    MCTreeExplosionError,
+    PlanningError,
+    RateError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+    WorkloadError,
+)
+from repro.topology import (
+    OperatorKind,
+    OperatorSpec,
+    Partitioning,
+    SourceRates,
+    StreamEdge,
+    StreamRates,
+    TaskId,
+    Topology,
+    TopologyBuilder,
+    TopologyClass,
+    TopologySpec,
+    WeightSkew,
+    generate_source_rates,
+    generate_topology,
+    linear_chain,
+    propagate_rates,
+    uniform_source_rates,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BruteForcePlanner",
+    "DynamicProgrammingPlanner",
+    "ExperimentError",
+    "FullTopologyPlanner",
+    "GreedyPlanner",
+    "IC_OBJECTIVE",
+    "MCTreeExplosionError",
+    "OF_OBJECTIVE",
+    "OperatorKind",
+    "OperatorSpec",
+    "Partitioning",
+    "PlanObjective",
+    "Planner",
+    "PlanningError",
+    "RateError",
+    "ReplicationPlan",
+    "ReproError",
+    "SimulationError",
+    "SourceRates",
+    "StreamEdge",
+    "StreamRates",
+    "StructureAwarePlanner",
+    "StructuredTopologyPlanner",
+    "TaskId",
+    "Topology",
+    "TopologyBuilder",
+    "TopologyClass",
+    "TopologyError",
+    "TopologySpec",
+    "WeightSkew",
+    "WorkloadError",
+    "budget_from_fraction",
+    "enumerate_mc_trees",
+    "generate_source_rates",
+    "generate_topology",
+    "internal_completeness",
+    "linear_chain",
+    "output_fidelity",
+    "propagate_rates",
+    "uniform_source_rates",
+    "worst_case_completeness",
+    "worst_case_fidelity",
+]

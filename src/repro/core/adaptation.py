@@ -1,0 +1,136 @@
+"""Dynamic plan adaptation (Sec. V-C) — the paper's future-work feature.
+
+Input rates drift over time, so the partially active replication plan should
+be recomputed periodically.  The paper sketches the mechanism (deactivate
+replicas that left the plan, bootstrap new replicas from checkpoints) but
+leaves it unimplemented; this module implements the *planning* side:
+
+* :class:`DynamicPlanAdapter` re-plans against fresh rates and decides
+  whether the improvement justifies the transition, using a hysteresis
+  threshold on the objective gain per changed replica — without it, tiny
+  rate fluctuations would churn replicas constantly;
+* :class:`PlanTransition` describes what the engine would have to do
+  (which replicas to deactivate, which to bootstrap from checkpoints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.plans import OF_OBJECTIVE, Planner, PlanObjective, ReplicationPlan
+from repro.errors import PlanningError
+from repro.topology.graph import Topology
+from repro.topology.operators import TaskId
+from repro.topology.rates import StreamRates
+
+
+@dataclass(frozen=True)
+class PlanTransition:
+    """The replica changes needed to move between two plans."""
+
+    previous: frozenset[TaskId]
+    new: frozenset[TaskId]
+
+    @property
+    def deactivate(self) -> frozenset[TaskId]:
+        """Replicas to terminate (their tasks left the plan)."""
+        return self.previous - self.new
+
+    @property
+    def activate(self) -> frozenset[TaskId]:
+        """Replicas to bootstrap from checkpoints (tasks that joined)."""
+        return self.new - self.previous
+
+    @property
+    def churn(self) -> int:
+        """Total number of replica changes (the transition's cost driver)."""
+        return len(self.deactivate) + len(self.activate)
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.deactivate and not self.activate
+
+
+@dataclass
+class AdaptationDecision:
+    """Outcome of one adaptation round."""
+
+    applied: bool
+    transition: PlanTransition
+    previous_value: float
+    candidate_value: float
+
+    @property
+    def gain(self) -> float:
+        return self.candidate_value - self.previous_value
+
+
+class DynamicPlanAdapter:
+    """Periodically re-plan and apply the new plan when it pays off.
+
+    Parameters
+    ----------
+    planner:
+        Any :class:`~repro.core.plans.Planner` (the paper uses the
+        structure-aware planner).
+    budget:
+        Replication budget in tasks (fixed; standby capacity is static).
+    min_gain_per_change:
+        Hysteresis: the new plan is applied only if the objective improves by
+        at least this much *per changed replica*.  ``0`` applies every strict
+        improvement.
+    objective:
+        Metric to evaluate plans under (defaults to Output Fidelity).
+    """
+
+    def __init__(self, planner: Planner, budget: int, *,
+                 min_gain_per_change: float = 0.0,
+                 objective: PlanObjective = OF_OBJECTIVE):
+        if budget < 0:
+            raise PlanningError(f"budget must be >= 0, got {budget}")
+        if min_gain_per_change < 0:
+            raise PlanningError("min_gain_per_change must be >= 0")
+        self.planner = planner
+        self.budget = budget
+        self.min_gain_per_change = min_gain_per_change
+        self.objective = objective
+        self._current: frozenset[TaskId] = frozenset()
+        self.history: list[AdaptationDecision] = []
+
+    @property
+    def current_plan(self) -> frozenset[TaskId]:
+        return self._current
+
+    def bootstrap(self, topology: Topology, rates: StreamRates) -> ReplicationPlan:
+        """Compute and adopt the initial plan."""
+        plan = self.planner.plan(topology, rates, self.budget)
+        self._current = plan.replicated
+        return plan
+
+    def update(self, topology: Topology, rates: StreamRates) -> AdaptationDecision:
+        """One adaptation round against fresh ``rates``.
+
+        Re-plans, compares both plans under the *new* rates and applies the
+        candidate when its gain clears the hysteresis threshold.
+        """
+        candidate = self.planner.plan(topology, rates, self.budget).replicated
+        previous_value = self.objective.plan_value(topology, rates, self._current)
+        candidate_value = self.objective.plan_value(topology, rates, candidate)
+        transition = PlanTransition(self._current, candidate)
+
+        apply = False
+        if not transition.is_noop:
+            gain = candidate_value - previous_value
+            apply = gain > self.min_gain_per_change * transition.churn
+        decision = AdaptationDecision(
+            applied=apply, transition=transition,
+            previous_value=previous_value, candidate_value=candidate_value,
+        )
+        if apply:
+            self._current = candidate
+        self.history.append(decision)
+        return decision
+
+    def total_churn(self) -> int:
+        """Replica changes applied so far (bootstrap excluded)."""
+        return sum(d.transition.churn for d in self.history if d.applied)

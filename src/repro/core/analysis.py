@@ -1,0 +1,130 @@
+"""Plan and topology analysis: explain what a replication plan buys.
+
+Planners return bare task sets; operators deploying PPA want to know *why*
+those tasks: which complete MC-trees the plan forms, what share of the output
+each contributes, which tasks are individually most critical, and where the
+next replication unit would best be spent.  This module provides those
+reports on top of the core metric machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.fidelity import (
+    output_fidelity,
+    single_failure_fidelity,
+    worst_case_fidelity,
+)
+from repro.core.mc_trees import DEFAULT_LIMIT, enumerate_mc_trees
+from repro.topology.graph import Topology
+from repro.topology.operators import TaskId
+from repro.topology.rates import StreamRates
+
+
+@dataclass(frozen=True)
+class TaskCriticality:
+    """How much a single task's failure hurts the output."""
+
+    task: TaskId
+    fidelity_if_failed: float
+
+    @property
+    def damage(self) -> float:
+        """Output share lost when only this task fails."""
+        return 1.0 - self.fidelity_if_failed
+
+
+def criticality_report(topology: Topology, rates: StreamRates
+                       ) -> list[TaskCriticality]:
+    """Every task ranked by single-failure damage, most critical first."""
+    entries = [
+        TaskCriticality(task, single_failure_fidelity(topology, rates, task))
+        for task in topology.tasks()
+    ]
+    entries.sort(key=lambda e: (e.fidelity_if_failed, e.task))
+    return entries
+
+
+@dataclass(frozen=True)
+class PlanExplanation:
+    """Decomposition of a plan's worst-case fidelity."""
+
+    replicated: frozenset[TaskId]
+    fidelity: float
+    complete_trees: tuple[frozenset[TaskId], ...]
+    #: Replicated tasks not contained in any complete MC-tree of the plan —
+    #: they contribute nothing to tentative outputs (dead weight).
+    stranded_tasks: frozenset[TaskId]
+
+    @property
+    def effective_tasks(self) -> frozenset[TaskId]:
+        if not self.complete_trees:
+            return frozenset()
+        return frozenset().union(*self.complete_trees)
+
+
+def explain_plan(topology: Topology, rates: StreamRates,
+                 replicated: Iterable[TaskId], *,
+                 tree_limit: int = DEFAULT_LIMIT) -> PlanExplanation:
+    """Which MC-trees a plan completes and which replicas are dead weight.
+
+    Enumerates MC-trees, so it is meant for the (structured or moderate-size)
+    topologies a human would inspect; full topologies with huge tree counts
+    raise :class:`~repro.errors.MCTreeExplosionError` like any enumeration.
+    """
+    plan = frozenset(replicated)
+    trees = enumerate_mc_trees(topology, limit=tree_limit)
+    complete = tuple(tree for tree in trees if tree <= plan)
+    covered = (
+        frozenset().union(*complete) if complete else frozenset()
+    )
+    return PlanExplanation(
+        replicated=plan,
+        fidelity=worst_case_fidelity(topology, rates, plan),
+        complete_trees=complete,
+        stranded_tasks=plan - covered,
+    )
+
+
+@dataclass(frozen=True)
+class MarginalGain:
+    """Objective gain of adding one more task to a plan."""
+
+    task: TaskId
+    fidelity_after: float
+    gain: float
+
+
+def marginal_gains(topology: Topology, rates: StreamRates,
+                   replicated: Iterable[TaskId],
+                   candidates: Sequence[TaskId] | None = None
+                   ) -> list[MarginalGain]:
+    """Worst-case fidelity gain of each candidate task, best first.
+
+    With ``candidates=None`` every unreplicated task is evaluated.  Note that
+    single-task gains are often zero until a tree completes — pair this with
+    :func:`explain_plan` to see which trees are one task short.
+    """
+    plan = frozenset(replicated)
+    base = worst_case_fidelity(topology, rates, plan)
+    pool = candidates if candidates is not None else [
+        t for t in topology.tasks() if t not in plan
+    ]
+    gains = []
+    for task in pool:
+        after = worst_case_fidelity(topology, rates, plan | {task})
+        gains.append(MarginalGain(task, after, after - base))
+    gains.sort(key=lambda g: (-g.gain, g.task))
+    return gains
+
+
+def fidelity_under_failures(topology: Topology, rates: StreamRates,
+                            failure_sets: Sequence[Iterable[TaskId]]
+                            ) -> list[float]:
+    """OF for a batch of what-if failure scenarios (capacity planning)."""
+    return [
+        output_fidelity(topology, rates, frozenset(failed))
+        for failed in failure_sets
+    ]

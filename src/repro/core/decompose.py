@@ -1,0 +1,81 @@
+"""Decomposing a general topology into full/structured sub-topologies.
+
+Sec. IV-C.3 requires that "at least one partitioning function between any two
+neighbouring sub-topologies is Full", so that the segment selection of one
+sub-topology is independent of its neighbours': across a full edge *any*
+alive upstream task connects to *any* alive downstream task.
+
+That requirement has a clean graph formulation, which this module uses
+instead of the paper's (underspecified) multi-DFS: sub-topology boundaries
+are exactly the **full edges**.  Operators connected by non-full edges
+(one-to-one / split / merge) form *structured* sub-topologies, planned with
+Algorithm 3's unit/segment machinery; operators whose every incident edge is
+full become singleton sub-topologies of *full* kind, planned with
+Algorithm 4's per-operator δ ranking.  A full chain of k operators thus
+becomes k singletons whose base plans and one-task extensions — merged
+globally by profit density in Algorithm 5 — reproduce Algorithm 4's
+behaviour on the whole chain exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.generator import TopologyClass
+from repro.topology.graph import Topology
+from repro.topology.partitioning import Partitioning
+
+
+@dataclass(frozen=True)
+class SubTopology:
+    """A connected group of operators planned as one piece."""
+
+    ops: frozenset[str]
+    kind: TopologyClass
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.ops
+
+
+def decompose(topology: Topology) -> list[SubTopology]:
+    """Split ``topology`` at its full edges; sub-topologies in topological order."""
+    parent: dict[str, str] = {name: name for name in topology.operator_names}
+
+    def find(name: str) -> str:
+        while parent[name] != name:
+            parent[name] = parent[parent[name]]
+            name = parent[name]
+        return name
+
+    for edge in topology.edges():
+        if edge.pattern is not Partitioning.FULL:
+            parent[find(edge.upstream)] = find(edge.downstream)
+
+    groups: dict[str, set[str]] = {}
+    for name in topology.operator_names:
+        groups.setdefault(find(name), set()).add(name)
+
+    order = {name: pos for pos, name in enumerate(topology.topological_order())}
+    subs = []
+    for members in sorted(groups.values(), key=lambda g: min(order[m] for m in g)):
+        ops = frozenset(members)
+        kind = (
+            TopologyClass.STRUCTURED
+            if _has_internal_non_full_edge(topology, ops)
+            else TopologyClass.FULL
+        )
+        subs.append(SubTopology(ops, kind))
+    return subs
+
+
+def _has_internal_non_full_edge(topology: Topology, ops: frozenset[str]) -> bool:
+    return any(
+        e.pattern is not Partitioning.FULL
+        for e in topology.edges()
+        if e.upstream in ops and e.downstream in ops
+    )
+
+
+def is_full_subtopology(topology: Topology, ops: frozenset[str]) -> bool:
+    """Whether every internal edge of ``ops`` uses full partitioning."""
+    return not _has_internal_non_full_edge(topology, ops)

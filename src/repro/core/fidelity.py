@@ -1,0 +1,65 @@
+"""Output Fidelity (OF): Eq. 4 of the paper (Sec. III-A.2).
+
+OF is the rate-weighted fraction of sink output that still reflects source
+input after a set of tasks failed.  A PPA replication plan is evaluated under
+the *worst-case correlated failure* of Sec. IV: every task that is not
+actively replicated fails simultaneously, so
+``OF(plan) = OF(failed = all_tasks − plan)``.
+
+The information-loss propagation of :mod:`repro.core.loss` makes partially
+replicated MC-trees contribute nothing automatically (a replicated task whose
+inputs are all lost outputs loss 1), so planners and the metric share this
+single evaluation path.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Sequence
+
+from repro.core.loss import propagate_information_loss
+from repro.errors import PlanningError
+from repro.topology.graph import Topology
+from repro.topology.operators import TaskId
+from repro.topology.rates import StreamRates
+
+
+def output_fidelity(topology: Topology, rates: StreamRates,
+                    failed: AbstractSet[TaskId], *,
+                    sink_tasks: Sequence[TaskId] | None = None,
+                    ignore_correlation: bool = False) -> float:
+    """Eq. 4: ``1 − Σ λ_i · IL_i / Σ λ_i`` over the sink tasks.
+
+    ``sink_tasks`` defaults to all tasks of all sink operators.  Rates are the
+    pre-failure rates, matching the paper (losses are fractions of the
+    original streams).
+    """
+    sinks = tuple(sink_tasks) if sink_tasks is not None else topology.sink_tasks()
+    if not sinks:
+        raise PlanningError("topology has no sink tasks; output fidelity is undefined")
+    loss = propagate_information_loss(
+        topology, rates, failed, ignore_correlation=ignore_correlation
+    )
+    total = sum(rates.output_rate(t) for t in sinks)
+    if total <= 0.0:
+        # Degenerate: sinks emit nothing even without failures. Treat any
+        # failure-free configuration as fidelity 1 and anything else as 0.
+        return 1.0 if not failed else 0.0
+    lost = sum(rates.output_rate(t) * loss[t] for t in sinks)
+    return max(0.0, min(1.0, 1.0 - lost / total))
+
+
+def worst_case_fidelity(topology: Topology, rates: StreamRates,
+                        replicated: Iterable[TaskId]) -> float:
+    """OF of a plan under the worst-case correlated failure (Sec. IV).
+
+    All tasks outside ``replicated`` are considered failed, including source
+    tasks; only completely replicated MC-trees keep contributing output.
+    """
+    alive = set(replicated)
+    failed = frozenset(t for t in topology.tasks() if t not in alive)
+    return output_fidelity(topology, rates, failed)
+
+
+def single_failure_fidelity(topology: Topology, rates: StreamRates, task: TaskId) -> float:
+    """OF when exactly one task fails (the ranking key of the greedy planner)."""
+    return output_fidelity(topology, rates, frozenset((task,)))

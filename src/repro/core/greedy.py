@@ -1,0 +1,54 @@
+"""Algorithm 2: the structure-agnostic greedy planner (Sec. IV-B).
+
+For every task the planner computes the objective value of the topology when
+*only that task* fails; tasks whose individual failure hurts the most (the
+smallest remaining value) are replicated first, up to the budget.
+
+The algorithm deliberately ignores whether the selected tasks form complete
+MC-trees — the paper uses it as the baseline whose weakness at small budgets
+motivates the structure-aware planner (Fig. 13, Fig. 14).
+"""
+
+from __future__ import annotations
+
+from repro.core.plans import OF_OBJECTIVE, Planner, PlanObjective, ReplicationPlan
+from repro.topology.graph import Topology
+from repro.topology.operators import TaskId
+from repro.topology.rates import StreamRates
+
+
+class GreedyPlanner(Planner):
+    """Rank tasks by single-failure damage; replicate the top ``budget`` tasks."""
+
+    name = "Greedy"
+
+    def __init__(self, objective: PlanObjective = OF_OBJECTIVE):
+        super().__init__(objective)
+
+    def rank_tasks(self, topology: Topology, rates: StreamRates) -> list[tuple[float, TaskId]]:
+        """All tasks with their single-failure objective values, most critical first.
+
+        Ties are broken deterministically by task id so repeated runs produce
+        identical plans.
+        """
+        scored = [
+            (self.objective.single_failure_value(topology, rates, task), task)
+            for task in topology.tasks()
+        ]
+        scored.sort(key=lambda pair: (pair[0], pair[1].operator, pair[1].index))
+        return scored
+
+    def plan(self, topology: Topology, rates: StreamRates, budget: int) -> ReplicationPlan:
+        budget = self._check_budget(topology, budget)
+        chosen = frozenset(task for _value, task in self.rank_tasks(topology, rates)[:budget])
+        return self._finish(chosen, budget)
+
+    def plan_trajectory(self, topology: Topology, rates: StreamRates,
+                        budget: int) -> list[ReplicationPlan]:
+        """Plans at every budget 0..``budget`` (prefixes of the ranking)."""
+        budget = self._check_budget(topology, budget)
+        ranked = [task for _value, task in self.rank_tasks(topology, rates)]
+        return [
+            self._finish(frozenset(ranked[:size]), budget)
+            for size in range(budget + 1)
+        ]

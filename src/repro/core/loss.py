@@ -1,0 +1,112 @@
+"""Operator output-loss model: Eq. 1–3 of the paper (Sec. III-A.1).
+
+Given a set of failed tasks, information loss is propagated from sources to
+sinks through the task DAG:
+
+* a failed task's output stream has information loss 1;
+* the loss of an input stream is the rate-weighted average of the losses of
+  its substreams (Eq. 1);
+* a *correlated-input* (join) task's output loss treats the Cartesian product
+  of its input streams as effective input:
+  ``IL_out = 1 − Π_j (1 − IL_in_j)`` (Eq. 2);
+* an *independent-input* task's output loss is the rate-weighted average of
+  its input stream losses (Eq. 3).
+
+The ``ignore_correlation`` flag forces Eq. 3 everywhere, which is how the
+Internal Completeness baseline metric treats joins
+(:mod:`repro.core.completeness`).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Mapping
+
+from repro.topology.graph import Topology
+from repro.topology.operators import TaskId
+from repro.topology.rates import StreamRates
+
+
+def _clamp01(value: float) -> float:
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value
+
+
+def input_stream_loss(loss_by_task: Mapping[TaskId, float], rates: StreamRates,
+                      task: TaskId, substreams: tuple[tuple[TaskId, float], ...]) -> float:
+    """Eq. 1: rate-weighted average loss over the substreams of one input stream.
+
+    An input stream whose total pre-failure rate is zero carries no
+    information; its loss is conservatively reported as 1.
+    """
+    weighted = 0.0
+    total = 0.0
+    for src, _weight in substreams:
+        rate = rates.substream_rate(src, task)
+        weighted += rate * loss_by_task[src]
+        total += rate
+    if total <= 0.0:
+        return 1.0
+    return _clamp01(weighted / total)
+
+
+def propagate_information_loss(topology: Topology, rates: StreamRates,
+                               failed: AbstractSet[TaskId], *,
+                               ignore_correlation: bool = False) -> dict[TaskId, float]:
+    """Output-stream information loss (``IL_out``) of every task.
+
+    Parameters
+    ----------
+    topology, rates:
+        The query topology and its pre-failure stream rates.
+    failed:
+        Tasks whose outputs are entirely lost (``IL_out = 1``).
+    ignore_correlation:
+        Treat every operator as independent-input (used by the IC metric).
+
+    Returns
+    -------
+    dict mapping every task to its output information loss in ``[0, 1]``.
+    """
+    loss: dict[TaskId, float] = {}
+    for name in topology.topological_order():
+        spec = topology.operator(name)
+        correlated = spec.is_correlated and not ignore_correlation
+        for task in spec.tasks():
+            if task in failed:
+                loss[task] = 1.0
+                continue
+            if spec.is_source:
+                loss[task] = 0.0
+                continue
+            stream_losses: list[float] = []
+            stream_rates: list[float] = []
+            for stream in topology.input_streams(task):
+                stream_losses.append(
+                    input_stream_loss(loss, rates, task, stream.substreams)
+                )
+                stream_rates.append(
+                    rates.input_stream_rate(task, stream.upstream_operator)
+                )
+            loss[task] = _combine_stream_losses(stream_losses, stream_rates, correlated)
+    return loss
+
+
+def _combine_stream_losses(stream_losses: list[float], stream_rates: list[float],
+                           correlated: bool) -> float:
+    """Eq. 2 (correlated) or Eq. 3 (independent) over per-stream losses."""
+    if not stream_losses:
+        # A non-source task with no input stream cannot receive information.
+        return 1.0
+    if correlated:
+        survival = 1.0
+        for il in stream_losses:
+            survival *= 1.0 - il
+        return _clamp01(1.0 - survival)
+    total = sum(stream_rates)
+    if total <= 0.0:
+        return 1.0
+    weighted = sum(r * il for r, il in zip(stream_rates, stream_losses))
+    return _clamp01(weighted / total)

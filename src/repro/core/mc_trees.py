@@ -1,0 +1,185 @@
+"""Minimal Complete Trees (MC-trees): Definition 1 of the paper (Sec. III-B).
+
+An MC-tree is a minimal tree-shaped subgraph of the task DAG whose leaves are
+source tasks and whose root is a task of an output operator; it keeps
+contributing to final outputs if and only if all its tasks are alive.  The
+recursive construction mirrors the operator semantics:
+
+* a source task's only MC-tree is itself;
+* an *independent-input* task needs one alive substream overall, so its trees
+  extend the trees of any single upstream task;
+* a *correlated-input* task needs one alive substream **per input stream**,
+  so its trees combine one upstream tree from every input stream
+  (cross product).
+
+Enumeration is exponential on full topologies (``Π parallelism`` trees), so
+every entry point takes a ``limit`` and raises
+:class:`~repro.errors.MCTreeExplosionError` when it is exceeded; planners for
+full topologies never enumerate (Sec. IV-C.2).
+
+The ``within`` parameter restricts enumeration to a subset of operators,
+which is how *segments* — MC-trees of a unit — are produced for the
+structured-topology planner (Sec. IV-C.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.errors import MCTreeExplosionError, TopologyError
+from repro.topology.graph import Topology
+from repro.topology.operators import TaskId
+
+#: Default cap on materialised trees; high enough for every experiment in the
+#: paper that enumerates, low enough to fail fast on full topologies.
+DEFAULT_LIMIT = 200_000
+
+
+def enumerate_mc_trees(topology: Topology, *,
+                       within: Iterable[str] | None = None,
+                       sink_tasks: Sequence[TaskId] | None = None,
+                       limit: int | None = DEFAULT_LIMIT) -> list[frozenset[TaskId]]:
+    """All distinct MC-trees, each as a frozen set of task ids.
+
+    Parameters
+    ----------
+    within:
+        Restrict the DAG to these operators.  Tasks of operators with no
+        upstream neighbour inside the restriction act as sources of the
+        restricted DAG (used for unit segments).
+    sink_tasks:
+        Roots to enumerate from; defaults to the sink tasks of the (possibly
+        restricted) DAG.
+    limit:
+        Maximum number of trees to materialise (``None`` disables the guard).
+    """
+    allowed = set(within) if within is not None else set(topology.operator_names)
+    for name in allowed:
+        topology.operator(name)  # validates
+
+    if sink_tasks is None:
+        sink_tasks = _restricted_sink_tasks(topology, allowed)
+    memo: dict[TaskId, tuple[frozenset[TaskId], ...]] = {}
+    result: set[frozenset[TaskId]] = set()
+    for sink in sink_tasks:
+        if sink.operator not in allowed:
+            raise TopologyError(f"sink task {sink!r} lies outside the restriction")
+        for tree in _trees_of(topology, sink, allowed, memo, limit):
+            result.add(tree)
+            _check_limit(len(result), limit)
+    return sorted(result, key=lambda tree: (len(tree), sorted(tree)))
+
+
+def _restricted_sink_tasks(topology: Topology, allowed: set[str]) -> tuple[TaskId, ...]:
+    sinks = []
+    for name in topology.topological_order():
+        if name not in allowed:
+            continue
+        has_downstream_inside = any(d in allowed for d in topology.downstream_of(name))
+        if not has_downstream_inside:
+            sinks.extend(topology.tasks_of(name))
+    return tuple(sinks)
+
+
+def _restricted_is_source(topology: Topology, task: TaskId, allowed: set[str]) -> bool:
+    spec = topology.operator(task.operator)
+    if spec.is_source:
+        return True
+    return not any(u in allowed for u in topology.upstream_of(task.operator))
+
+
+def _check_limit(count: int, limit: int | None) -> None:
+    if limit is not None and count > limit:
+        raise MCTreeExplosionError(
+            f"MC-tree enumeration exceeded the limit of {limit}; "
+            "use the full-topology planner instead of enumerating"
+        )
+
+
+def _trees_of(topology: Topology, task: TaskId, allowed: set[str],
+              memo: dict[TaskId, tuple[frozenset[TaskId], ...]],
+              limit: int | None) -> tuple[frozenset[TaskId], ...]:
+    if task in memo:
+        return memo[task]
+    if _restricted_is_source(topology, task, allowed):
+        memo[task] = (frozenset((task,)),)
+        return memo[task]
+
+    spec = topology.operator(task.operator)
+    streams = [
+        stream for stream in topology.input_streams(task)
+        if stream.upstream_operator in allowed
+    ]
+    per_stream: list[list[frozenset[TaskId]]] = []
+    for stream in streams:
+        options: list[frozenset[TaskId]] = []
+        for src, _weight in stream.substreams:
+            options.extend(_trees_of(topology, src, allowed, memo, limit))
+        per_stream.append(options)
+
+    trees: set[frozenset[TaskId]] = set()
+    if spec.is_correlated:
+        # One upstream tree per input stream, combined.
+        for combo in itertools.product(*per_stream):
+            merged: set[TaskId] = {task}
+            for part in combo:
+                merged.update(part)
+            trees.add(frozenset(merged))
+            _check_limit(len(trees), limit)
+    else:
+        # One upstream tree from any single substream of any input stream.
+        for options in per_stream:
+            for part in options:
+                trees.add(frozenset(part | {task}))
+                _check_limit(len(trees), limit)
+    memo[task] = tuple(sorted(trees, key=lambda tree: (len(tree), sorted(tree))))
+    return memo[task]
+
+
+def count_mc_tree_derivations(topology: Topology, *,
+                              within: Iterable[str] | None = None) -> int:
+    """Fast upper bound on the number of MC-trees (derivation count).
+
+    Counts recursive derivations without deduplicating identical task sets,
+    so it equals the exact count on diamond-free topologies (including every
+    chain and every full topology) and upper-bounds it otherwise.  Runs in
+    ``O(tasks + substreams)``.
+    """
+    allowed = set(within) if within is not None else set(topology.operator_names)
+    counts: dict[TaskId, int] = {}
+    for name in topology.topological_order():
+        if name not in allowed:
+            continue
+        spec = topology.operator(name)
+        for task in spec.tasks():
+            if _restricted_is_source(topology, task, allowed):
+                counts[task] = 1
+                continue
+            stream_counts = []
+            for stream in topology.input_streams(task):
+                if stream.upstream_operator not in allowed:
+                    continue
+                stream_counts.append(
+                    sum(counts[src] for src, _w in stream.substreams)
+                )
+            if spec.is_correlated:
+                total = 1
+                for c in stream_counts:
+                    total *= c
+            else:
+                total = sum(stream_counts)
+            counts[task] = total
+    return sum(counts[t] for t in _restricted_sink_tasks(topology, allowed))
+
+
+def tree_is_replicated(tree: frozenset[TaskId], replicated: Iterable[TaskId]) -> bool:
+    """Whether every task of ``tree`` is in ``replicated``."""
+    return tree <= set(replicated)
+
+
+def minimum_tree_size(trees: Sequence[frozenset[TaskId]]) -> int:
+    """Size of the smallest MC-tree (the DP's first feasible budget)."""
+    if not trees:
+        raise TopologyError("no MC-trees supplied")
+    return min(len(t) for t in trees)

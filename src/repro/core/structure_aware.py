@@ -1,0 +1,127 @@
+"""Algorithm 5: the Structure-Aware (SA) planner for general topologies.
+
+SA decomposes a general topology into full/structured sub-topologies
+(:mod:`repro.core.decompose`), gives every sub-topology a minimal *base plan*
+(one task per operator for full sub-topologies, one complete MC-tree for
+structured ones), and then repeatedly applies the extension with the highest
+global profit density ``Δ = (value(P ∪ ext) − value(P)) / |ext|`` until no
+extension fits the remaining budget or none improves the objective.
+
+Following the paper (Algorithm 5, lines 3–4), a budget too small to give
+every sub-topology its base plan yields an empty plan: without at least one
+complete MC-tree through every sub-topology on the path to the sinks no
+tentative output can be produced anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.decompose import SubTopology, decompose
+from repro.core.full_topology import FullTopologyPlanner
+from repro.core.plans import (
+    OF_OBJECTIVE,
+    Planner,
+    PlanningContext,
+    PlanObjective,
+    ReplicationPlan,
+)
+from repro.core.structured import StructuredTopologyPlanner
+from repro.core.subplanner import SubTopologyPlanner
+from repro.topology.generator import TopologyClass
+from repro.topology.graph import Topology
+from repro.topology.operators import TaskId
+from repro.topology.rates import StreamRates
+
+_EPSILON = 1e-12
+
+
+@dataclass
+class _SubState:
+    """Mutable planning state of one sub-topology."""
+
+    sub: SubTopology
+    planner: SubTopologyPlanner
+    ctx: PlanningContext
+    plan: frozenset[TaskId]
+
+
+class StructureAwarePlanner(Planner):
+    """Decompose, base-plan each sub-topology, merge extensions by density."""
+
+    name = "SA"
+
+    def __init__(self, objective: PlanObjective = OF_OBJECTIVE, *,
+                 segment_limit: int = 50_000):
+        super().__init__(objective)
+        self.segment_limit = segment_limit
+
+    def _sub_planner(self, sub: SubTopology) -> SubTopologyPlanner:
+        if sub.kind is TopologyClass.FULL:
+            return FullTopologyPlanner(self.objective)
+        return StructuredTopologyPlanner(self.objective, segment_limit=self.segment_limit)
+
+    def plan(self, topology: Topology, rates: StreamRates, budget: int) -> ReplicationPlan:
+        return self.plan_trajectory(topology, rates, budget)[-1]
+
+    def plan_trajectory(self, topology: Topology, rates: StreamRates,
+                        budget: int) -> list[ReplicationPlan]:
+        """Plans at every extension step up to ``budget``.
+
+        The first entry is the merged base plan (or the empty plan if the
+        budget cannot cover the bases); each further entry adds one extension.
+        A caller sweeping resource fractions can read the plan at any budget
+        from a single planning run: the plan for budget ``b`` is the last
+        trajectory entry with ``usage <= b``.
+        """
+        budget = self._check_budget(topology, budget)
+        states = [
+            _SubState(
+                sub,
+                self._sub_planner(sub),
+                PlanningContext(topology, rates, self.objective, ops=sub.ops),
+                frozenset(),
+            )
+            for sub in decompose(topology)
+        ]
+
+        # Base phase: every sub-topology needs its minimal useful plan.
+        usage = 0
+        for state in states:
+            base = state.planner.base_plan(state.ctx)
+            if base is None:
+                continue  # degenerate sub-topology; nothing can flow through it
+            state.plan = frozenset(base)
+            usage += len(base)
+        if usage > budget:
+            return [self._finish(frozenset(), budget)]
+
+        # Merge phase: apply the globally densest extension while budget lasts.
+        global_plan = frozenset().union(*(s.plan for s in states)) if states else frozenset()
+        trajectory = [self._finish(global_plan, budget)]
+        while usage < budget:
+            base_value = self.objective.plan_value(topology, rates, global_plan)
+            best_state: _SubState | None = None
+            best_ext: frozenset[TaskId] | None = None
+            best_key: tuple[float, float, int] | None = None
+            for state in states:
+                ext = state.planner.extend(state.ctx, state.plan, budget - usage)
+                if not ext:
+                    continue
+                gain = (
+                    self.objective.plan_value(topology, rates, global_plan | ext)
+                    - base_value
+                )
+                if gain <= _EPSILON:
+                    continue
+                key = (gain / len(ext), gain, -len(ext))
+                if best_key is None or key > best_key:
+                    best_key, best_state, best_ext = key, state, ext
+            if best_state is None or best_ext is None:
+                break
+            best_state.plan |= best_ext
+            global_plan |= best_ext
+            usage += len(best_ext)
+            trajectory.append(self._finish(global_plan, budget))
+
+        return trajectory

@@ -1,0 +1,69 @@
+"""Base class shared by the full-topology and structured-topology planners.
+
+Both Algorithm 3 and Algorithm 4 are used in two modes:
+
+* **standalone** — plan a whole topology (``plan``), which is "build the
+  minimal useful plan, then keep extending while budget remains";
+* **as sub-planners** inside the structure-aware planner (Algorithm 5), which
+  asks for a :meth:`base_plan` per sub-topology first and then repeatedly for
+  the next best :meth:`extend` step, merging extensions across sub-topologies
+  by profit density.
+
+The :class:`~repro.core.plans.PlanningContext` carries the operator mask, so
+a sub-planner can score plans while assuming tasks outside its sub-topology
+are alive.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.plans import (
+    OF_OBJECTIVE,
+    Planner,
+    PlanningContext,
+    PlanObjective,
+    ReplicationPlan,
+)
+from repro.topology.graph import Topology
+from repro.topology.operators import TaskId
+from repro.topology.rates import StreamRates
+
+
+class SubTopologyPlanner(Planner):
+    """A planner with explicit base-plan / extension steps."""
+
+    def __init__(self, objective: PlanObjective = OF_OBJECTIVE):
+        super().__init__(objective)
+
+    @abc.abstractmethod
+    def base_plan(self, ctx: PlanningContext) -> frozenset[TaskId] | None:
+        """Minimal plan that lets the sub-topology contribute output.
+
+        Returns ``None`` when no useful plan exists (degenerate topologies).
+        The caller checks the base plan against its budget.
+        """
+
+    @abc.abstractmethod
+    def extend(self, ctx: PlanningContext, current: frozenset[TaskId],
+               max_new_tasks: int) -> frozenset[TaskId] | None:
+        """The next best set of tasks to add to ``current``.
+
+        Returns only the *new* tasks (disjoint from ``current``), never more
+        than ``max_new_tasks`` of them, or ``None`` when no beneficial
+        extension fits.
+        """
+
+    def plan(self, topology: Topology, rates: StreamRates, budget: int) -> ReplicationPlan:
+        budget = self._check_budget(topology, budget)
+        ctx = PlanningContext(topology, rates, self.objective)
+        base = self.base_plan(ctx)
+        if base is None or len(base) > budget:
+            return self._finish(frozenset(), budget)
+        current = frozenset(base)
+        while len(current) < budget:
+            addition = self.extend(ctx, current, budget - len(current))
+            if not addition:
+                break
+            current |= addition
+        return self._finish(current, budget)

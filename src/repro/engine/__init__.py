@@ -1,0 +1,50 @@
+"""Simulated MPSPE substrate: the paper's Storm-based system in virtual time.
+
+See DESIGN.md §2 for how this substitutes the paper's EC2 deployment, and
+:mod:`repro.engine.engine` for the protocols implemented.
+"""
+
+from repro.engine.checkpoint import Checkpoint, CheckpointStore
+from repro.engine.cluster import Cluster, Node, NodeKind
+from repro.engine.config import CostModel, EngineConfig, PassiveStrategy
+from repro.engine.engine import StreamEngine
+from repro.engine.events import EventHandle, Simulator
+from repro.engine.logic import LogicFactory, OperatorLogic, SourceFunction
+from repro.engine.metrics import (
+    MetricsCollector,
+    RecoveryMode,
+    RecoveryRecord,
+    TaskCpu,
+)
+from repro.engine.routing import Router, stable_hash
+from repro.engine.tasks import TaskRuntime, TaskStatus
+from repro.engine.tuples import Batch, KeyedTuple, SinkRecord, forged_batch
+
+__all__ = [
+    "Batch",
+    "Checkpoint",
+    "CheckpointStore",
+    "Cluster",
+    "CostModel",
+    "EngineConfig",
+    "EventHandle",
+    "KeyedTuple",
+    "LogicFactory",
+    "MetricsCollector",
+    "Node",
+    "NodeKind",
+    "OperatorLogic",
+    "PassiveStrategy",
+    "RecoveryMode",
+    "RecoveryRecord",
+    "Router",
+    "Simulator",
+    "SinkRecord",
+    "SourceFunction",
+    "StreamEngine",
+    "TaskCpu",
+    "TaskRuntime",
+    "TaskStatus",
+    "forged_batch",
+    "stable_hash",
+]

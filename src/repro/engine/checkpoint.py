@@ -1,0 +1,47 @@
+"""Checkpoint records and the standby-side checkpoint store (Sec. V-B).
+
+A checkpoint captures a task's operator state plus its progress vector right
+after processing a batch; it is stored on the task's standby node.  After a
+task checkpoints, its upstream neighbours may trim their output buffers up to
+the checkpointed batch — the engine drives that trim protocol and uses the
+store during passive recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.topology.operators import TaskId
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """State of one task as of having processed ``batch_index``."""
+
+    task: TaskId
+    batch_index: int
+    state: Any
+    progress: dict[TaskId, int]
+    state_tuples: int
+    taken_at: float
+
+
+@dataclass
+class CheckpointStore:
+    """Latest checkpoint per task (older ones are superseded)."""
+
+    _latest: dict[TaskId, Checkpoint] = field(default_factory=dict)
+
+    def put(self, checkpoint: Checkpoint) -> None:
+        """Store a checkpoint, superseding any older one for the task."""
+        current = self._latest.get(checkpoint.task)
+        if current is None or checkpoint.batch_index >= current.batch_index:
+            self._latest[checkpoint.task] = checkpoint
+
+    def latest(self, task: TaskId) -> Checkpoint | None:
+        """The most recent checkpoint of ``task``, or None."""
+        return self._latest.get(task)
+
+    def __len__(self) -> int:
+        return len(self._latest)

@@ -1,0 +1,108 @@
+"""Deterministic discrete-event core: virtual clock plus an event queue.
+
+Events are plain callbacks ordered by ``(time, priority, sequence)``; the
+monotonically increasing sequence number makes simultaneous events execute in
+scheduling order, so a run is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+#: An event is just a zero-argument callback executed at its due time.
+EventFn = Callable[[], None]
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: float
+    priority: int
+    sequence: int
+    fn: EventFn = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Allows a scheduled event to be cancelled before it fires."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _QueuedEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (safe to call after it fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Absolute virtual time the event is due at."""
+        return self._event.time
+
+
+class Simulator:
+    """Virtual clock plus event queue; drives one engine run."""
+
+    def __init__(self) -> None:
+        self._queue: list[_QueuedEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (diagnostics)."""
+        return self._processed
+
+    def at(self, time: float, fn: EventFn, priority: int = 0) -> EventHandle:
+        """Schedule ``fn`` at absolute virtual time ``time``."""
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule event in the past ({time:.6f} < now {self._now:.6f})"
+            )
+        event = _QueuedEvent(max(time, self._now), priority, next(self._sequence), fn)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def after(self, delay: float, fn: EventFn, priority: int = 0) -> EventHandle:
+        """Schedule ``fn`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.at(self._now + delay, fn, priority)
+
+    def run_until(self, end_time: float) -> None:
+        """Execute all events with due time <= ``end_time``, advancing the clock."""
+        while self._queue and self._queue[0].time <= end_time + 1e-12:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = max(self._now, event.time)
+            self._processed += 1
+            event.fn()
+        self._now = max(self._now, end_time)
+
+    def drain(self, max_events: int = 10_000_000) -> None:
+        """Execute every remaining event (used to let recoveries finish)."""
+        budget = max_events
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = max(self._now, event.time)
+            self._processed += 1
+            event.fn()
+            budget -= 1
+            if budget <= 0:
+                raise SimulationError(
+                    f"drain() exceeded {max_events} events; likely a scheduling loop"
+                )

@@ -1,0 +1,74 @@
+"""Key-based tuple routing along the four partitioning patterns.
+
+The planner-side substream weights (:mod:`repro.topology.partitioning`) are a
+rate model; the engine needs the *actual* routing function.  Keys are hashed
+with CRC32 so routing is stable across runs and processes (Python's builtin
+``hash`` is salted), and the same key always lands on the same downstream
+task — which keeps co-partitioned joins correct.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable
+
+from repro.engine.tuples import KeyedTuple
+from repro.topology.graph import StreamEdge, Topology
+from repro.topology.operators import TaskId
+from repro.topology.partitioning import Partitioning
+
+
+def stable_hash(key: str) -> int:
+    """Deterministic, process-independent hash of a key."""
+    return zlib.crc32(key.encode("utf-8"))
+
+
+def _split_members(upstream_index: int, n_up: int, n_down: int) -> list[int]:
+    return [j for j in range(n_down) if j * n_up // n_down == upstream_index]
+
+
+class Router:
+    """Per-edge routing: distributes a task's output tuples to batches."""
+
+    def __init__(self, topology: Topology):
+        self._topology = topology
+        self._route_fns: dict[tuple[str, str], Callable[[TaskId, str], int]] = {}
+        for edge in topology.edges():
+            self._route_fns[(edge.upstream, edge.downstream)] = self._make_route(edge)
+
+    def _make_route(self, edge: StreamEdge) -> Callable[[TaskId, str], int]:
+        n_up = self._topology.operator(edge.upstream).parallelism
+        n_down = self._topology.operator(edge.downstream).parallelism
+
+        if edge.pattern is Partitioning.ONE_TO_ONE:
+            return lambda src, key: src.index
+        if edge.pattern is Partitioning.MERGE:
+            return lambda src, key: src.index * n_down // n_up
+        if edge.pattern is Partitioning.SPLIT:
+            members_of = {i: _split_members(i, n_up, n_down) for i in range(n_up)}
+
+            def route_split(src: TaskId, key: str) -> int:
+                members = members_of[src.index]
+                return members[stable_hash(key) % len(members)]
+
+            return route_split
+        # FULL: hash-partition over all downstream tasks.
+        return lambda src, key: stable_hash(key) % n_down
+
+    def distribute(self, src: TaskId, tuples: list[KeyedTuple]
+                   ) -> dict[TaskId, list[KeyedTuple]]:
+        """Split ``src``'s output tuples into per-downstream-task lists.
+
+        Every downstream task that ``src`` feeds gets an entry — possibly an
+        empty list — because empty batches still act as punctuations.
+        """
+        out: dict[TaskId, list[KeyedTuple]] = {
+            dst: [] for dst, _w in self._topology.output_substreams(src)
+        }
+        for downstream_op in self._topology.downstream_of(src.operator):
+            route = self._route_fns[(src.operator, downstream_op)]
+            for key, value in tuples:
+                dst = TaskId(downstream_op, route(src, key))
+                # Patterns guarantee dst is one of src's substream targets.
+                out[dst].append((key, value))
+        return out

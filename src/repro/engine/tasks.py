@@ -1,0 +1,157 @@
+"""Per-task runtime state used by the engine's protocol loops.
+
+A :class:`TaskRuntime` holds everything that belongs to one logical task:
+batch-protocol position, inbox, output history (the output buffer of
+Sec. II-B, physically retained for the whole run with logical trim points for
+cost accounting), checkpoint/trim bookkeeping, replica-sync position and
+recovery bookkeeping.  All *behaviour* lives in
+:mod:`repro.engine.engine`; this module is deliberately mostly data.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.engine.tuples import Batch
+from repro.topology.operators import TaskId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.logic import OperatorLogic, SourceFunction
+    from repro.engine.metrics import RecoveryRecord
+
+
+class TaskStatus(enum.Enum):
+    """Lifecycle of a task (incl. its active replica, if any)."""
+
+    #: Processing normally (primary, or replica after takeover).
+    RUNNING = "running"
+    #: Dead with no active replica; waiting for passive recovery.
+    FAILED = "failed"
+    #: Restarted on a standby; catching up to its pre-failure progress.
+    RECOVERING = "recovering"
+    #: Primary dead; the active replica keeps processing with output held
+    #: until takeover completes.
+    FAILOVER = "failover"
+
+
+class TaskRuntime:
+    """Mutable state of one logical task within an engine run."""
+
+    def __init__(self, task: TaskId, *, is_source: bool, is_sink: bool,
+                 expected_upstreams: tuple[TaskId, ...], replicated: bool,
+                 logic: "OperatorLogic | None" = None,
+                 source_fn: "SourceFunction | None" = None):
+        self.task = task
+        self.is_source = is_source
+        self.is_sink = is_sink
+        self.expected_upstreams = expected_upstreams
+        self.replicated = replicated
+        self.logic = logic
+        self.source_fn = source_fn
+
+        self.status = TaskStatus.RUNNING
+        #: Bumped on unreplicated failure; stale scheduled events check it.
+        self.incarnation = 0
+        #: Next batch index to process (non-source) / emit (source).
+        self.next_batch = 0
+        #: Pending input batches: index -> upstream task -> batch.
+        self.inbox: dict[int, dict[TaskId, Batch]] = {}
+        #: Whether a batch is currently being processed (one at a time).
+        self.processing = False
+        #: Last processed batch per upstream task (the progress vector).
+        self.progress: dict[TaskId, int] = {u: -1 for u in expected_upstreams}
+        #: Last batch index emitted downstream.
+        self.emitted = -1
+        #: CPU timeline: this task's (or its replica's) core is busy until here.
+        self.busy_until = 0.0
+
+        #: Output history: batch index -> destination -> batch.  Physically
+        #: retained; ``trimmed_upto`` marks what a real system would have
+        #: pruned (replaying pruned batches charges recompute cost).
+        self.history: dict[int, dict[TaskId, Batch]] = {}
+        self.trimmed_upto = -1
+        #: Per-subscriber checkpoint acknowledgements driving the trim.
+        self.acked: dict[TaskId, int] = {}
+        #: Last batch whose outputs the active replica has trimmed.
+        self.replica_synced = -1
+        #: Outputs produced while in FAILOVER, flushed at takeover.
+        self.held_outputs: list[tuple[TaskId, Batch]] = []
+        #: Replay requests from subscribers arriving while this task was
+        #: down: subscriber -> from-batch (exclusive).
+        self.pending_replays: dict[TaskId, int] = {}
+        #: Storm-mode recompute memo: (lo, hi, ready_time) of the last
+        #: recomputed range.
+        self.recompute_cover: tuple[int, int, float] | None = None
+
+        self.last_checkpoint_batch = -1
+        self.checkpoint_phase = 0
+        self.fail_time: float | None = None
+        self.pre_failure_progress: dict[TaskId, int] | None = None
+        self.pre_failure_emitted: int | None = None
+        self.recovery_record: "RecoveryRecord | None" = None
+
+    # ------------------------------------------------------------------
+    def alive(self) -> bool:
+        """Whether the task currently processes batches."""
+        return self.status in (TaskStatus.RUNNING, TaskStatus.FAILOVER,
+                               TaskStatus.RECOVERING)
+
+    def inbox_put(self, batch: Batch) -> bool:
+        """Store an incoming batch; returns False for stale duplicates.
+
+        A real batch replaces a forged placeholder for the same index, but a
+        forged batch never overwrites real data.
+        """
+        if batch.index < self.next_batch:
+            return False
+        slot = self.inbox.setdefault(batch.index, {})
+        existing = slot.get(batch.src)
+        if existing is not None and not existing.forged:
+            return False
+        if existing is not None and batch.forged:
+            return False
+        slot[batch.src] = batch
+        return True
+
+    def inbox_ready(self, index: int) -> bool:
+        """Whether batch ``index`` has arrived from every upstream task."""
+        slot = self.inbox.get(index)
+        if slot is None:
+            return not self.expected_upstreams
+        return all(u in slot for u in self.expected_upstreams)
+
+    def take_inbox(self, index: int) -> dict[TaskId, Batch]:
+        """Remove and return the input batches of ``index``."""
+        return self.inbox.pop(index, {})
+
+    def snapshot_progress(self) -> dict[TaskId, int]:
+        """A copy of the progress vector (stored in checkpoints)."""
+        return dict(self.progress)
+
+    def caught_up(self) -> bool:
+        """Whether the progress vector reached its pre-failure value."""
+        if self.is_source:
+            target = self.pre_failure_emitted
+            return target is None or self.emitted >= target
+        if self.pre_failure_progress is None:
+            return True
+        return all(
+            self.progress.get(u, -1) >= before
+            for u, before in self.pre_failure_progress.items()
+        )
+
+    def buffered_tuples(self, lo_exclusive: int, hi_inclusive: int) -> int:
+        """Total tuples in output batches ``(lo, hi]`` (takeover/replay cost)."""
+        total = 0
+        for index in range(lo_exclusive + 1, hi_inclusive + 1):
+            per_dst = self.history.get(index)
+            if per_dst:
+                total += sum(b.size for b in per_dst.values())
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TaskRuntime({self.task}, {self.status.value}, next={self.next_batch}, "
+            f"emitted={self.emitted})"
+        )

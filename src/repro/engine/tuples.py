@@ -1,0 +1,68 @@
+"""Batches and punctuations: the dataflow unit of the simulated engine.
+
+The paper's implementation (Sec. V-B) adopts batch processing: input tuples
+are divided into consecutive batches, a task starts processing batch ``b``
+only once it received the batch-over punctuation from every upstream task,
+and tuples within a batch are processed in a predefined order.  In the
+simulator a :class:`Batch` *is* its own punctuation — receiving the batch
+message means the batch is over.
+
+``forged=True`` marks the empty punctuations the recovery manager fabricates
+for failed tasks so that downstream tasks keep producing tentative outputs;
+``complete=False`` taints any batch whose lineage includes forged or
+incomplete inputs, which is how sink outputs are classified as tentative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.topology.operators import TaskId
+
+#: A stream element: ``(key, value)``.
+KeyedTuple = tuple[str, Any]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One batch of tuples flowing along a substream."""
+
+    src: TaskId
+    dst: TaskId
+    index: int
+    tuples: tuple[KeyedTuple, ...] = field(default=())
+    #: False when the batch lineage lost data (tentative output path).
+    complete: bool = True
+    #: True when the batch is a fabricated empty punctuation for a dead task.
+    forged: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.tuples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flags = "" if self.complete else " tentative"
+        flags += " forged" if self.forged else ""
+        return f"Batch({self.src}->{self.dst} #{self.index} n={self.size}{flags})"
+
+
+def forged_batch(src: TaskId, dst: TaskId, index: int) -> Batch:
+    """An empty punctuation standing in for a failed upstream task."""
+    return Batch(src=src, dst=dst, index=index, tuples=(), complete=False, forged=True)
+
+
+@dataclass(frozen=True)
+class SinkRecord:
+    """One batch of final output captured at a sink task."""
+
+    task: TaskId
+    index: int
+    tuples: tuple[KeyedTuple, ...]
+    complete: bool
+    emitted_at: float
+
+    @property
+    def tentative(self) -> bool:
+        """Whether this output was produced from incomplete inputs."""
+        return not self.complete

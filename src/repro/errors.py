@@ -1,0 +1,46 @@
+"""Exception hierarchy shared by every subpackage of :mod:`repro`.
+
+Keeping all exception types in one module lets callers catch the broad
+:class:`ReproError` when they only care about "something in this library
+failed", while still being able to catch the precise subtype close to the
+call site.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class TopologyError(ReproError):
+    """An invalid query topology: bad DAG shape, parallelism mismatch, etc."""
+
+
+class RateError(ReproError):
+    """Stream rates are missing, inconsistent, or non-positive."""
+
+
+class PlanningError(ReproError):
+    """A replication planner was given an infeasible or malformed request."""
+
+
+class MCTreeExplosionError(PlanningError):
+    """MC-tree enumeration exceeded the caller-supplied limit.
+
+    Full topologies have ``prod(parallelism)`` MC-trees, which grows too fast
+    to materialise; callers should fall back to the full-topology planner
+    (Algorithm 4) instead of enumerating.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven into an invalid state."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured with invalid parameters."""

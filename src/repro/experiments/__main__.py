@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` — regenerate the paper's figures."""
+
+import sys
+
+from repro.experiments.cli import main
+
+sys.exit(main())

@@ -1,0 +1,128 @@
+"""Command-line entry point regenerating every figure of the paper.
+
+Usage::
+
+    python -m repro.experiments fig7 fig9 --fast
+    python -m repro.experiments all
+
+``--fast`` shrinks grids, topology counts and simulated durations so the full
+suite completes in a couple of minutes; omit it for the paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Sequence
+
+from repro.experiments.accuracy import fig12, fig13
+from repro.experiments.bundles import q1_bundle, q2_bundle
+from repro.experiments.checkpoint_cost import fig9
+from repro.experiments.claims import claims
+from repro.experiments.random_topologies import fig14
+from repro.experiments.recovery import (
+    DEFAULT_TECHNIQUES,
+    FigureResult,
+    fig7,
+    fig8,
+    fig10,
+)
+from repro.topology.operators import TaskId
+
+def _fast_q1():
+    return q1_bundle(window_seconds=20.0, pages=400, tuple_scale=8.0)
+
+
+def _fast_q2():
+    return q2_bundle(window_seconds=20.0, tuple_scale=80.0)
+
+
+def _run_fig7(fast: bool) -> list[FigureResult]:
+    if fast:
+        return [fig7(windows=(10.0,), rates=(1000.0,),
+                     positions=(TaskId("O2", 0),), tuple_scale=16.0)]
+    return [fig7()]
+
+
+def _run_fig8(fast: bool) -> list[FigureResult]:
+    if fast:
+        return [fig8(windows=(10.0,), rates=(1000.0,), tuple_scale=16.0)]
+    return [fig8()]
+
+
+def _run_fig9(fast: bool) -> list[FigureResult]:
+    if fast:
+        return [fig9(intervals=(1.0, 15.0), rates=(1000.0,), duration=45.0,
+                     tuple_scale=16.0)]
+    return [fig9()]
+
+
+def _run_fig10(fast: bool) -> list[FigureResult]:
+    if fast:
+        return [fig10(rates=(1000.0,), checkpoint_intervals=(15.0,),
+                      tuple_scale=16.0)]
+    return [fig10()]
+
+
+def _run_fig12(fast: bool) -> list[FigureResult]:
+    if fast:
+        return [fig12("q1", fractions=(0.3, 0.6), bundle=_fast_q1()),
+                fig12("q2", fractions=(0.3, 0.6), bundle=_fast_q2())]
+    return [fig12("q1"), fig12("q2")]
+
+
+def _run_fig13(fast: bool) -> list[FigureResult]:
+    if fast:
+        return [fig13("q1", fractions=(0.3, 0.6), bundle=_fast_q1())]
+    return [fig13("q1"), fig13("q2")]
+
+
+def _run_fig14(fast: bool) -> list[FigureResult]:
+    n = 10 if fast else 100
+    keys = ("a",) if fast else ("a", "b", "c", "d")
+    fractions = (0.2, 0.5, 0.8) if fast else (0.1, 0.2, 0.4, 0.6, 0.8)
+    return [fig14(key, fractions=fractions, n_topologies=n) for key in keys]
+
+
+def _run_claims(fast: bool) -> list[FigureResult]:
+    return [claims(n_topologies=10 if fast else 30)]
+
+
+RUNNERS: dict[str, Callable[[bool], list[FigureResult]]] = {
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig12": _run_fig12,
+    "fig13": _run_fig13,
+    "fig14": _run_fig14,
+    "claims": _run_claims,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the figures of the PPA paper (ICDE 2016).",
+    )
+    parser.add_argument("figures", nargs="+",
+                        choices=sorted(RUNNERS) + ["all"],
+                        help="which figures to regenerate")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced grids/durations for a quick pass")
+    args = parser.parse_args(argv)
+
+    names = sorted(RUNNERS) if "all" in args.figures else args.figures
+    for name in names:
+        started = time.perf_counter()
+        for result in RUNNERS[name](args.fast):
+            print(result.render())
+            print()
+        elapsed = time.perf_counter() - started
+        print(f"[{name} done in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Fig. 14: SA vs Greedy on random topologies (Sec. VI-C).
+
+Four sub-figures, each comparing two topology-generator configurations under
+both planners across replication fractions 0→0.8:
+
+* (a) task workload skew: uniform vs Zipf(s=0.1);
+* (b) operator parallelism: 1–10 vs 10–20;
+* (c) topology class: structured vs full partitioning;
+* (d) join-operator fraction: 0 % vs 50 %.
+
+The paper averages over 100 random topologies per configuration (the DP is
+excluded — its cost is prohibitive on these sizes, as the paper notes).  A
+single SA trajectory per (topology, planner) covers every fraction.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.core.fidelity import worst_case_fidelity
+from repro.core.greedy import GreedyPlanner
+from repro.core.plans import budget_from_fraction
+from repro.core.structure_aware import StructureAwarePlanner
+from repro.errors import ExperimentError
+from repro.experiments.recovery import FigureResult
+from repro.topology.generator import (
+    TopologyClass,
+    TopologySpec,
+    WeightSkew,
+    generate_source_rates,
+    generate_topology,
+)
+from repro.topology.rates import propagate_rates
+
+DEFAULT_FRACTIONS = (0.1, 0.2, 0.4, 0.6, 0.8)
+
+#: Base generator configuration (Sec. VI-C: 5–10 operators).
+BASE_SPEC = TopologySpec(
+    n_operators=(5, 10), parallelism=(2, 6),
+    topology_class=TopologyClass.STRUCTURED, join_fraction=0.0,
+)
+
+
+@dataclass(frozen=True)
+class Fig14Variant:
+    """One sub-figure: two generator configurations side by side."""
+
+    key: str
+    title: str
+    curves: tuple[tuple[str, TopologySpec], ...]
+
+
+VARIANTS: dict[str, Fig14Variant] = {
+    "a": Fig14Variant("a", "workload skewness", (
+        ("uniform", BASE_SPEC.with_skew(WeightSkew.UNIFORM)),
+        ("zipf", BASE_SPEC.with_skew(WeightSkew.ZIPF)),
+    )),
+    "b": Fig14Variant("b", "degree of parallelisation", (
+        ("para:1~10", replace(BASE_SPEC, parallelism=(1, 10))),
+        ("para:10~20", replace(BASE_SPEC, parallelism=(10, 20))),
+    )),
+    "c": Fig14Variant("c", "full partitioning", (
+        ("structure", BASE_SPEC.with_class(TopologyClass.STRUCTURED)),
+        ("full", BASE_SPEC.with_class(TopologyClass.FULL)),
+    )),
+    "d": Fig14Variant("d", "fraction of join operators", (
+        ("nojoin", replace(BASE_SPEC, join_fraction=0.0)),
+        ("join-50%", replace(BASE_SPEC, join_fraction=0.5)),
+    )),
+}
+
+
+def sweep_planner_fidelity(spec: TopologySpec, fractions: Sequence[float],
+                           n_topologies: int, *, seed0: int = 1000
+                           ) -> tuple[list[float], list[float]]:
+    """Mean worst-case OF of SA and Greedy plans at each fraction.
+
+    Uses plan trajectories so each planner runs once per topology; the plan
+    at fraction ``f`` is the last trajectory entry within ``f``'s budget.
+    """
+    if n_topologies < 1:
+        raise ExperimentError("n_topologies must be >= 1")
+    sa_values: list[list[float]] = [[] for _ in fractions]
+    greedy_values: list[list[float]] = [[] for _ in fractions]
+    for index in range(n_topologies):
+        seed = seed0 + index
+        topology = generate_topology(spec, seed)
+        rates = propagate_rates(topology, generate_source_rates(topology, seed))
+        max_budget = budget_from_fraction(topology, max(fractions))
+
+        sa_trajectory = StructureAwarePlanner().plan_trajectory(
+            topology, rates, max_budget
+        )
+        greedy_trajectory = GreedyPlanner().plan_trajectory(
+            topology, rates, max_budget
+        )
+        for pos, fraction in enumerate(fractions):
+            budget = budget_from_fraction(topology, fraction)
+            sa_plan = _plan_at_budget(sa_trajectory, budget)
+            greedy_plan = greedy_trajectory[min(budget, len(greedy_trajectory) - 1)]
+            sa_values[pos].append(
+                worst_case_fidelity(topology, rates, sa_plan)
+            )
+            greedy_values[pos].append(
+                worst_case_fidelity(topology, rates, greedy_plan.replicated)
+            )
+    return (
+        [statistics.fmean(v) for v in sa_values],
+        [statistics.fmean(v) for v in greedy_values],
+    )
+
+
+def _plan_at_budget(trajectory, budget: int) -> frozenset:
+    best = frozenset()
+    for plan in trajectory:
+        if plan.usage <= budget:
+            best = plan.replicated
+        else:
+            break
+    return best
+
+
+def fig14(variant_key: str, fractions: Sequence[float] = DEFAULT_FRACTIONS,
+          n_topologies: int = 100, *, seed0: int = 1000) -> FigureResult:
+    """One sub-figure of Fig. 14 as a table of mean OF values."""
+    try:
+        variant = VARIANTS[variant_key]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown Fig. 14 variant {variant_key!r}; expected one of "
+            f"{sorted(VARIANTS)}"
+        ) from None
+    headers = ["fraction"]
+    series: list[tuple[str, list[float]]] = []
+    for label, spec in variant.curves:
+        sa, greedy = sweep_planner_fidelity(spec, fractions, n_topologies,
+                                            seed0=seed0)
+        series.append((f"SA-{label}", sa))
+        series.append((f"Greedy-{label}", greedy))
+    headers.extend(name for name, _values in series)
+    rows: list[list[object]] = []
+    for pos, fraction in enumerate(fractions):
+        rows.append([fraction] + [values[pos] for _name, values in series])
+    return FigureResult(
+        f"Fig. 14({variant.key}): {variant.title} — mean OF over "
+        f"{n_topologies} random topologies",
+        headers, rows,
+    )

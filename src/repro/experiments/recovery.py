@@ -1,0 +1,262 @@
+"""Recovery-efficiency experiments: Fig. 7, Fig. 8 and Fig. 10.
+
+Each cell of the paper's bar charts is one engine run on the Fig. 6 workload
+with a given fault-tolerance technique:
+
+* ``Active-<s>s`` — every synthetic task has a hot replica; ``<s>`` is the
+  primary/replica output-sync (trim) interval;
+* ``Checkpoint-<s>s`` — pure passive recovery from checkpoints taken every
+  ``<s>`` seconds;
+* ``Storm`` — no checkpoints; state is rebuilt by replaying source data for
+  the unfinished window instances through the whole topology.
+
+Fig. 7 injects a single-task failure (averaged over tasks at different
+depths, as the paper does); Fig. 8 kills every node hosting a synthetic
+task; Fig. 10 repeats the correlated failure under PPA plans replicating
+all / half / none of the tasks.
+"""
+
+from __future__ import annotations
+
+import enum
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.config import EngineConfig, PassiveStrategy
+from repro.engine.engine import StreamEngine
+from repro.experiments.bundles import QueryBundle, fig6_bundle
+from repro.experiments.tables import format_table
+from repro.topology.operators import TaskId
+
+#: Default failure-injection time (window filled and every task checkpointed).
+DEFAULT_FAIL_TIME = 45.0
+#: Default run duration; recoveries finish during the post-run settle drain.
+DEFAULT_DURATION = 60.0
+
+#: Single-failure positions, one per topology depth (the paper averages over
+#: failed-task locations because Storm's replay cost grows with depth).
+DEFAULT_POSITIONS = (
+    TaskId("O1", 0), TaskId("O2", 0), TaskId("O3", 0), TaskId("O4", 0),
+)
+
+
+class TechniqueKind(enum.Enum):
+    """Family of a fault-tolerance technique under evaluation."""
+
+    ACTIVE = "active"
+    CHECKPOINT = "checkpoint"
+    STORM = "storm"
+
+
+@dataclass(frozen=True)
+class Technique:
+    """One fault-tolerance configuration (one bar colour in Fig. 7/8)."""
+
+    label: str
+    kind: TechniqueKind
+    interval: float = 0.0  # sync interval (active) or checkpoint interval
+
+    def engine_for(self, bundle: QueryBundle, window_seconds: float) -> StreamEngine:
+        """A fresh engine configured for this technique on ``bundle``."""
+        if self.kind is TechniqueKind.ACTIVE:
+            config = EngineConfig(
+                checkpoint_interval=None, sync_interval=self.interval,
+                costs=bundle.costs,
+            )
+            plan = bundle.synthetic_tasks
+        elif self.kind is TechniqueKind.CHECKPOINT:
+            config = EngineConfig(
+                checkpoint_interval=self.interval, costs=bundle.costs,
+            )
+            plan = ()
+        else:
+            config = EngineConfig(
+                checkpoint_interval=None,
+                passive_strategy=PassiveStrategy.SOURCE_REPLAY,
+                costs=bundle.costs,
+            )
+            plan = ()
+        return StreamEngine(
+            bundle.topology, bundle.make_logic(), config, plan=plan,
+            source_replay_window_batches=round(window_seconds),
+        )
+
+
+DEFAULT_TECHNIQUES = (
+    Technique("Active-5s", TechniqueKind.ACTIVE, 5.0),
+    Technique("Active-30s", TechniqueKind.ACTIVE, 30.0),
+    Technique("Checkpoint-5s", TechniqueKind.CHECKPOINT, 5.0),
+    Technique("Checkpoint-15s", TechniqueKind.CHECKPOINT, 15.0),
+    Technique("Checkpoint-30s", TechniqueKind.CHECKPOINT, 30.0),
+    Technique("Storm", TechniqueKind.STORM),
+)
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: headers + rows + free-form notes."""
+
+    figure: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: str = ""
+
+    def render(self, precision: int = 2) -> str:
+        """The figure as an aligned text table plus notes."""
+        table = format_table(self.headers, self.rows, precision=precision,
+                             title=f"== {self.figure} ==")
+        if self.notes:
+            table += f"\n{self.notes}"
+        return table
+
+
+def _run_failure(bundle: QueryBundle, technique: Technique, window: float,
+                 failed_tasks: Sequence[TaskId], *,
+                 fail_time: float = DEFAULT_FAIL_TIME,
+                 duration: float = DEFAULT_DURATION) -> StreamEngine:
+    engine = technique.engine_for(bundle, window)
+    engine.schedule_task_failure(fail_time, failed_tasks)
+    engine.run(duration)
+    return engine
+
+
+def single_failure_latency(technique: Technique, *, window: float, rate: float,
+                           positions: Sequence[TaskId] = DEFAULT_POSITIONS,
+                           tuple_scale: float = 8.0,
+                           fail_time: float = DEFAULT_FAIL_TIME,
+                           duration: float = DEFAULT_DURATION) -> float:
+    """Mean recovery latency over single-task failures at several depths."""
+    latencies = []
+    for position in positions:
+        bundle = fig6_bundle(rate, window, tuple_scale=tuple_scale)
+        engine = _run_failure(bundle, technique, window, [position],
+                              fail_time=fail_time, duration=duration)
+        values = engine.metrics.recovery_latencies()
+        if not values:
+            raise RuntimeError(f"{technique.label}: no recovery recorded "
+                               f"for {position}")
+        latencies.extend(values)
+    return statistics.fmean(latencies)
+
+
+def correlated_failure_latency(technique: Technique, *, window: float,
+                               rate: float, tuple_scale: float = 8.0,
+                               fail_time: float = DEFAULT_FAIL_TIME,
+                               duration: float = DEFAULT_DURATION) -> float:
+    """Time to recover *all* synthetic tasks after a correlated failure."""
+    bundle = fig6_bundle(rate, window, tuple_scale=tuple_scale)
+    engine = _run_failure(bundle, technique, window, bundle.synthetic_tasks,
+                          fail_time=fail_time, duration=duration)
+    value = engine.metrics.max_recovery_latency()
+    if value is None:
+        raise RuntimeError(f"{technique.label}: correlated recovery incomplete")
+    return value
+
+
+def fig7(windows: Sequence[float] = (10.0, 30.0),
+         rates: Sequence[float] = (1000.0, 2000.0),
+         techniques: Sequence[Technique] = DEFAULT_TECHNIQUES,
+         positions: Sequence[TaskId] = DEFAULT_POSITIONS,
+         tuple_scale: float = 8.0) -> FigureResult:
+    """Fig. 7: recovery latency of single-node failure."""
+    headers = ["window", "rate"] + [t.label for t in techniques]
+    rows: list[list[object]] = []
+    for window in windows:
+        for rate in rates:
+            row: list[object] = [f"{window:g}s", f"{rate:g}t/s"]
+            for technique in techniques:
+                row.append(single_failure_latency(
+                    technique, window=window, rate=rate, positions=positions,
+                    tuple_scale=tuple_scale,
+                ))
+            rows.append(row)
+    return FigureResult(
+        "Fig. 7: single-node failure recovery latency (s)", headers, rows,
+        notes="mean over failed-task depths " + ", ".join(map(str, positions)),
+    )
+
+
+def fig8(windows: Sequence[float] = (10.0, 30.0),
+         rates: Sequence[float] = (1000.0, 2000.0),
+         techniques: Sequence[Technique] = DEFAULT_TECHNIQUES,
+         tuple_scale: float = 8.0) -> FigureResult:
+    """Fig. 8: recovery latency of a correlated failure (all 15 tasks)."""
+    headers = ["window", "rate"] + [t.label for t in techniques]
+    rows: list[list[object]] = []
+    for window in windows:
+        for rate in rates:
+            row: list[object] = [f"{window:g}s", f"{rate:g}t/s"]
+            for technique in techniques:
+                row.append(correlated_failure_latency(
+                    technique, window=window, rate=rate, tuple_scale=tuple_scale,
+                ))
+            rows.append(row)
+    return FigureResult(
+        "Fig. 8: correlated failure recovery latency (s)", headers, rows,
+        notes="time until every synthetic task caught up (15 tasks killed)",
+    )
+
+
+def half_subtree_plan(bundle: QueryBundle) -> frozenset[TaskId]:
+    """The PPA-0.5 plan: the complete half of the aggregation tree.
+
+    The paper's PPA-0.5 replicates half of the tasks; because only complete
+    MC-trees produce tentative output, the sensible half is a full subtree:
+    O4[0], O3[0], O2[0..1], O1[0..3] (8 of 15 tasks).
+    """
+    wanted = {("O4", 0), ("O3", 0), ("O2", 0), ("O2", 1),
+              ("O1", 0), ("O1", 1), ("O1", 2), ("O1", 3)}
+    return frozenset(t for t in bundle.synthetic_tasks
+                     if (t.operator, t.index) in wanted)
+
+
+def fig10(rates: Sequence[float] = (1000.0, 2000.0),
+          checkpoint_intervals: Sequence[float] = (5.0, 15.0, 30.0),
+          window: float = 30.0, tuple_scale: float = 8.0,
+          fail_time: float = DEFAULT_FAIL_TIME,
+          duration: float = DEFAULT_DURATION) -> FigureResult:
+    """Fig. 10: correlated-failure recovery latency under PPA plans.
+
+    PPA-1.0 replicates all 15 synthetic tasks, PPA-0.5 half of them (one
+    complete subtree), PPA-0 none; ``PPA-0.5-active`` is the recovery
+    completion of just the actively replicated tasks within the PPA-0.5 run
+    (the moment tentative output can resume).
+    """
+    headers = ["rate", "ckpt interval",
+               "PPA-1.0", "PPA-0.5-active", "PPA-0.5", "PPA-0"]
+    rows: list[list[object]] = []
+    for rate in rates:
+        for interval in checkpoint_intervals:
+            bundle = fig6_bundle(rate, window, tuple_scale=tuple_scale)
+            half = half_subtree_plan(bundle)
+            row: list[object] = [f"{rate:g}t/s", f"{interval:g}s"]
+
+            latencies: dict[str, float] = {}
+            for label, plan in (("PPA-1.0", frozenset(bundle.synthetic_tasks)),
+                                ("PPA-0.5", half),
+                                ("PPA-0", frozenset())):
+                config = EngineConfig(
+                    checkpoint_interval=interval, sync_interval=5.0,
+                    tentative_outputs=True, costs=bundle.costs,
+                )
+                engine = StreamEngine(
+                    bundle.topology, bundle.make_logic(), config, plan=plan,
+                )
+                engine.schedule_task_failure(fail_time, bundle.synthetic_tasks)
+                engine.run(duration)
+                overall = engine.metrics.max_recovery_latency()
+                if overall is None:
+                    raise RuntimeError(f"{label}: correlated recovery incomplete")
+                latencies[label] = overall
+                if label == "PPA-0.5":
+                    active_only = engine.metrics.max_recovery_latency(tasks=plan)
+                    latencies["PPA-0.5-active"] = active_only or 0.0
+            row.extend([latencies["PPA-1.0"], latencies["PPA-0.5-active"],
+                        latencies["PPA-0.5"], latencies["PPA-0"]])
+            rows.append(row)
+    return FigureResult(
+        f"Fig. 10: PPA recovery latency, correlated failure (window {window:g}s)",
+        headers, rows,
+        notes="PPA-0.5-active = recovery completion of the replicated subtree",
+    )

@@ -1,0 +1,39 @@
+"""Plain-text table rendering for experiment results.
+
+The harness reports every figure as rows of numbers (the same series the
+paper plots); this module renders them as aligned fixed-width tables for the
+CLI, EXPERIMENTS.md and the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_cell(value: Any, precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], *,
+                 precision: int = 3, title: str | None = None) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    rendered = [[format_cell(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)

@@ -1,0 +1,39 @@
+"""Query operator library: Q1 (top-k), Q2 (incident join), synthetic windows."""
+
+from repro.queries.incidents import (
+    INCIDENT_RESULT_KEY,
+    IncidentAggregateOperator,
+    IncidentCombineOperator,
+    SegmentSpeedOperator,
+    SpeedIncidentJoinOperator,
+    incident_accuracy,
+    incident_result_set,
+)
+from repro.queries.synthetic import WindowedSelectivityOperator
+from repro.queries.topk import (
+    TOPK_RESULT_KEY,
+    GlobalTopKOperator,
+    MergeAggregateOperator,
+    SliceAggregateOperator,
+    topk_accuracy,
+    topk_result_set,
+)
+from repro.queries.windows import SlidingWindow
+
+__all__ = [
+    "GlobalTopKOperator",
+    "INCIDENT_RESULT_KEY",
+    "IncidentAggregateOperator",
+    "IncidentCombineOperator",
+    "MergeAggregateOperator",
+    "SegmentSpeedOperator",
+    "SliceAggregateOperator",
+    "SlidingWindow",
+    "SpeedIncidentJoinOperator",
+    "TOPK_RESULT_KEY",
+    "WindowedSelectivityOperator",
+    "incident_accuracy",
+    "incident_result_set",
+    "topk_accuracy",
+    "topk_result_set",
+]

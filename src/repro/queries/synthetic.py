@@ -1,0 +1,50 @@
+"""The synthetic windowed operator of the recovery-efficiency experiments.
+
+Sec. VI-A: each synthetic operator maintains a sliding window (10–30 s
+interval, 1 s step) whose state is the input data within the window, and has
+selectivity 0.5.  The largest task state is therefore
+``input_rate × window_interval`` tuples — exactly what makes checkpoint size
+and Storm's replay volume scale with rate and window length in Fig. 7–9.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.engine.logic import OperatorLogic
+from repro.engine.tuples import KeyedTuple
+from repro.queries.windows import SlidingWindow
+from repro.topology.operators import TaskId
+
+
+class WindowedSelectivityOperator(OperatorLogic):
+    """Sliding-window pass-through with fractional selectivity.
+
+    Selectivity is applied with a deterministic accumulator (every
+    ``1/selectivity``-th tuple is emitted), so replicas and recovered
+    incarnations reproduce the exact same output.
+    """
+
+    def __init__(self, window_seconds: float = 30.0, selectivity: float = 0.5):
+        if not 0.0 <= selectivity <= 1.0:
+            raise ValueError(f"selectivity must be in [0, 1], got {selectivity}")
+        self.window = SlidingWindow(window_seconds)
+        self.selectivity = selectivity
+        self._accumulator = 0.0
+
+    def process_batch(self, task: TaskId, batch_end_time: float,
+                      inputs: Mapping[TaskId, Sequence[KeyedTuple]]
+                      ) -> list[KeyedTuple]:
+        out: list[KeyedTuple] = []
+        for upstream in sorted(inputs):
+            for key, value in inputs[upstream]:
+                self.window.add(batch_end_time, (key, value))
+                self._accumulator += self.selectivity
+                if self._accumulator >= 1.0:
+                    self._accumulator -= 1.0
+                    out.append((key, value))
+        self.window.evict(batch_end_time)
+        return out
+
+    def state_size(self) -> int:
+        return len(self.window)

@@ -1,0 +1,129 @@
+"""Q1: hierarchical top-k hottest entries (Sec. VI-B, Fig. 11 left).
+
+The paper's Q1 computes the top-100 hottest entries of the WorldCup'98 web
+site with a three-level aggregation tree:
+
+* **O1** (slice aggregation) — counts accesses per entry over input slices;
+* **O2** (merge) — merges partial counts within a sliding window;
+* **O3** (global top-k, single task) — maintains the global counts and emits
+  the current top-k entry set every batch.
+
+The engine's key routing keeps each entry on one O2 task, so partial counts
+merge correctly; losing an O1/O2 subtree removes those entries' counts and
+degrades the top-k set — which is what the OF metric predicts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping, Sequence
+
+from repro.engine.logic import OperatorLogic
+from repro.engine.tuples import KeyedTuple
+from repro.queries.windows import SlidingWindow
+from repro.topology.operators import TaskId
+
+#: Key under which the sink emits the current top-k result set.
+TOPK_RESULT_KEY = "top-k"
+
+
+class SliceAggregateOperator(OperatorLogic):
+    """O1: per-batch access counts per entry (the 100-tuple slices of the paper)."""
+
+    def process_batch(self, task: TaskId, batch_end_time: float,
+                      inputs: Mapping[TaskId, Sequence[KeyedTuple]]
+                      ) -> list[KeyedTuple]:
+        counts: Counter[str] = Counter()
+        for upstream in sorted(inputs):
+            for key, _value in inputs[upstream]:
+                counts[key] += 1
+        return [(key, count) for key, count in sorted(counts.items())]
+
+    def state_size(self) -> int:
+        return 0  # slice state lives within a single batch
+
+
+class MergeAggregateOperator(OperatorLogic):
+    """O2: windowed merge of partial counts; emits per-entry window totals."""
+
+    def __init__(self, window_seconds: float = 60.0):
+        self.window = SlidingWindow(window_seconds)
+
+    def process_batch(self, task: TaskId, batch_end_time: float,
+                      inputs: Mapping[TaskId, Sequence[KeyedTuple]]
+                      ) -> list[KeyedTuple]:
+        for upstream in sorted(inputs):
+            for key, count in inputs[upstream]:
+                self.window.add(batch_end_time, (key, count))
+        self.window.evict(batch_end_time)
+        totals: Counter[str] = Counter()
+        for key, count in self.window.items():
+            totals[key] += count
+        return [(key, total) for key, total in sorted(totals.items())]
+
+    def state_size(self) -> int:
+        return len(self.window)
+
+
+class GlobalTopKOperator(OperatorLogic):
+    """O3 (sink): global top-k over per-entry window totals.
+
+    Upstream merge tasks hold *partial* totals (each sees a subset of the
+    servers), so the global total of an entry is the sum of the latest
+    total reported by each upstream task; an upstream's contribution expires
+    when it has not been refreshed within the window.
+    """
+
+    def __init__(self, k: int = 100, window_seconds: float = 60.0):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.window_seconds = window_seconds
+        #: entry -> upstream task -> (last refresh time, partial total)
+        self._partials: dict[str, dict[TaskId, tuple[float, int]]] = {}
+
+    def process_batch(self, task: TaskId, batch_end_time: float,
+                      inputs: Mapping[TaskId, Sequence[KeyedTuple]]
+                      ) -> list[KeyedTuple]:
+        for upstream in sorted(inputs):
+            for key, total in inputs[upstream]:
+                self._partials.setdefault(key, {})[upstream] = (
+                    batch_end_time, total
+                )
+        horizon = batch_end_time - self.window_seconds
+        totals: dict[str, int] = {}
+        for key, per_upstream in list(self._partials.items()):
+            fresh = {
+                up: (ts, total)
+                for up, (ts, total) in per_upstream.items()
+                if ts > horizon
+            }
+            if not fresh:
+                del self._partials[key]
+                continue
+            self._partials[key] = fresh
+            totals[key] = sum(total for _ts, total in fresh.values())
+        ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+        top = tuple(key for key, _total in ranked[: self.k])
+        return [(TOPK_RESULT_KEY, top)]
+
+    def state_size(self) -> int:
+        return sum(len(per_upstream) for per_upstream in self._partials.values())
+
+
+def topk_result_set(output: Sequence[KeyedTuple]) -> frozenset[str]:
+    """Extract the top-k entry set from one sink batch output."""
+    for key, value in output:
+        if key == TOPK_RESULT_KEY:
+            return frozenset(value)
+    return frozenset()
+
+
+def topk_accuracy(tentative: Sequence[KeyedTuple],
+                  accurate: Sequence[KeyedTuple]) -> float:
+    """Q1's accuracy function: ``|ST ∩ SA| / |SA|`` (Sec. VI-B)."""
+    accurate_set = topk_result_set(accurate)
+    if not accurate_set:
+        return 1.0
+    tentative_set = topk_result_set(tentative)
+    return len(tentative_set & accurate_set) / len(accurate_set)

@@ -1,0 +1,53 @@
+"""Sliding-window primitives shared by the query operators.
+
+The paper's operators are all sliding-window computations (Sec. VI); this
+module provides the single window structure they share so checkpoint state
+size and eviction semantics are uniform.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterator
+
+
+class SlidingWindow:
+    """Time-based sliding window of ``(timestamp, item)`` entries.
+
+    Entries are appended in timestamp order (the engine feeds batches in
+    order); :meth:`evict` drops entries older than ``now − window_seconds``.
+    """
+
+    def __init__(self, window_seconds: float):
+        if window_seconds <= 0:
+            raise ValueError(f"window_seconds must be positive, got {window_seconds}")
+        self.window_seconds = window_seconds
+        self._entries: deque[tuple[float, Any]] = deque()
+
+    def add(self, timestamp: float, item: Any) -> None:
+        """Append an entry (timestamps must arrive in order)."""
+        self._entries.append((timestamp, item))
+
+    def evict(self, now: float) -> int:
+        """Drop entries with ``timestamp <= now − window_seconds``; return count."""
+        horizon = now - self.window_seconds
+        dropped = 0
+        while self._entries and self._entries[0][0] <= horizon:
+            self._entries.popleft()
+            dropped += 1
+        return dropped
+
+    def items(self) -> Iterator[Any]:
+        """The items currently in the window, oldest first."""
+        for _ts, item in self._entries:
+            yield item
+
+    def timestamped(self) -> Iterator[tuple[float, Any]]:
+        """(timestamp, item) pairs currently in the window, oldest first."""
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)

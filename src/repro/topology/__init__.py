@@ -1,0 +1,47 @@
+"""Query/topology model: operators, tasks, partitioning patterns, rates.
+
+This package is the substrate shared by the fidelity metric, the planners
+and the simulated engine.  See Sec. II of the paper.
+"""
+
+from repro.topology.builder import TopologyBuilder
+from repro.topology.generator import (
+    TopologyClass,
+    TopologySpec,
+    WeightSkew,
+    generate_source_rates,
+    generate_topology,
+    zipf_weights,
+)
+from repro.topology.graph import InputStream, StreamEdge, Topology, linear_chain
+from repro.topology.operators import OperatorKind, OperatorSpec, TaskId
+from repro.topology.partitioning import Partitioning, substream_weights
+from repro.topology.rates import (
+    SourceRates,
+    StreamRates,
+    propagate_rates,
+    uniform_source_rates,
+)
+
+__all__ = [
+    "InputStream",
+    "OperatorKind",
+    "OperatorSpec",
+    "Partitioning",
+    "SourceRates",
+    "StreamEdge",
+    "StreamRates",
+    "TaskId",
+    "Topology",
+    "TopologyBuilder",
+    "TopologyClass",
+    "TopologySpec",
+    "WeightSkew",
+    "generate_source_rates",
+    "generate_topology",
+    "linear_chain",
+    "propagate_rates",
+    "substream_weights",
+    "uniform_source_rates",
+    "zipf_weights",
+]

@@ -1,0 +1,99 @@
+"""Fluent builder for :class:`~repro.topology.graph.Topology` objects.
+
+Example
+-------
+>>> from repro.topology import TopologyBuilder, Partitioning
+>>> topo = (
+...     TopologyBuilder()
+...     .source("S", parallelism=4)
+...     .operator("O1", parallelism=4, selectivity=0.5)
+...     .operator("O2", parallelism=2)
+...     .join("O3", parallelism=2)
+...     .connect("S", "O1", Partitioning.ONE_TO_ONE)
+...     .connect("S", "O2", Partitioning.MERGE)
+...     .connect("O1", "O3", Partitioning.FULL)
+...     .connect("O2", "O3", Partitioning.FULL)
+...     .build()
+... )
+>>> topo.num_tasks
+12
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TopologyError
+from repro.topology.graph import StreamEdge, Topology
+from repro.topology.operators import OperatorKind, OperatorSpec
+from repro.topology.partitioning import Partitioning
+
+
+class TopologyBuilder:
+    """Accumulates operators and edges, then validates once in :meth:`build`."""
+
+    def __init__(self) -> None:
+        self._specs: list[OperatorSpec] = []
+        self._names: set[str] = set()
+        self._edges: list[StreamEdge] = []
+
+    # ------------------------------------------------------------------
+    # Operator declaration
+    # ------------------------------------------------------------------
+    def add_operator(self, spec: OperatorSpec) -> "TopologyBuilder":
+        """Add a fully specified operator."""
+        if spec.name in self._names:
+            raise TopologyError(f"operator {spec.name!r} declared twice")
+        self._names.add(spec.name)
+        self._specs.append(spec)
+        return self
+
+    def source(self, name: str, parallelism: int,
+               task_weights: Sequence[float] | None = None) -> "TopologyBuilder":
+        """Declare a source operator."""
+        return self.add_operator(
+            OperatorSpec(name, parallelism, OperatorKind.SOURCE,
+                         task_weights=tuple(task_weights or ()))
+        )
+
+    def operator(self, name: str, parallelism: int, selectivity: float = 1.0,
+                 task_weights: Sequence[float] | None = None) -> "TopologyBuilder":
+        """Declare an independent-input (union-semantics) operator."""
+        return self.add_operator(
+            OperatorSpec(name, parallelism, OperatorKind.INDEPENDENT,
+                         selectivity=selectivity, task_weights=tuple(task_weights or ()))
+        )
+
+    def join(self, name: str, parallelism: int, selectivity: float = 1.0,
+             task_weights: Sequence[float] | None = None) -> "TopologyBuilder":
+        """Declare a correlated-input (join-semantics) operator."""
+        return self.add_operator(
+            OperatorSpec(name, parallelism, OperatorKind.CORRELATED,
+                         selectivity=selectivity, task_weights=tuple(task_weights or ()))
+        )
+
+    # ------------------------------------------------------------------
+    # Edge declaration
+    # ------------------------------------------------------------------
+    def connect(self, upstream: str, downstream: str,
+                pattern: Partitioning = Partitioning.FULL) -> "TopologyBuilder":
+        """Subscribe ``downstream`` to ``upstream`` with the given pattern."""
+        for end in (upstream, downstream):
+            if end not in self._names:
+                raise TopologyError(f"connect() references undeclared operator {end!r}")
+        self._edges.append(StreamEdge(upstream, downstream, pattern))
+        return self
+
+    def chain(self, *names: str,
+              pattern: Partitioning = Partitioning.FULL) -> "TopologyBuilder":
+        """Connect ``names`` pairwise in order with a single pattern."""
+        if len(names) < 2:
+            raise TopologyError("chain() needs at least two operator names")
+        for upstream, downstream in zip(names, names[1:]):
+            self.connect(upstream, downstream, pattern)
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> Topology:
+        """Validate everything and return the immutable topology."""
+        return Topology(self._specs, self._edges)

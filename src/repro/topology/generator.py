@@ -1,0 +1,187 @@
+"""Random topology generator for the Sec. VI-C experiments (Fig. 14).
+
+The paper evaluates the structure-aware planner against the greedy baseline
+on 100 random topologies per configuration, varying:
+
+* workload skew of tasks within an operator (uniform vs Zipf ``s=0.1``);
+* degree of parallelisation (uniform in ``1..10`` vs ``10..20``);
+* topology class (structured vs full partitioning);
+* fraction of join operators (0% vs 50%).
+
+:func:`generate_topology` builds a layered DAG honouring those knobs and the
+partitioning legality rules of :mod:`repro.topology.partitioning`, fully
+deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, replace
+
+from repro.errors import TopologyError
+from repro.topology.graph import StreamEdge, Topology
+from repro.topology.operators import OperatorKind, OperatorSpec
+from repro.topology.partitioning import Partitioning
+from repro.topology.rates import SourceRates
+
+
+class TopologyClass(enum.Enum):
+    """Which partitioning patterns internal edges may use."""
+
+    #: Internal edges use one-to-one / split / merge only (no full).
+    STRUCTURED = "structured"
+    #: Every edge uses full partitioning.
+    FULL = "full"
+    #: Mix: edges are full with probability ``full_edge_probability``.
+    GENERAL = "general"
+
+
+class WeightSkew(enum.Enum):
+    """Distribution of task workloads within an operator."""
+
+    UNIFORM = "uniform"
+    ZIPF = "zipf"
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Knobs of the random generator; defaults follow Sec. VI-C.
+
+    ``n_operators`` counts non-source operators (the paper draws it from
+    5..10); sources are added on top.
+    """
+
+    n_operators: tuple[int, int] = (5, 10)
+    parallelism: tuple[int, int] = (1, 10)
+    weight_skew: WeightSkew = WeightSkew.UNIFORM
+    zipf_s: float = 0.1
+    topology_class: TopologyClass = TopologyClass.STRUCTURED
+    join_fraction: float = 0.0
+    selectivity: tuple[float, float] = (0.4, 1.0)
+    n_sources: tuple[int, int] = (1, 2)
+    full_edge_probability: float = 0.3
+
+    def with_skew(self, skew: WeightSkew) -> "TopologySpec":
+        """A copy of this spec with a different workload skew."""
+        return replace(self, weight_skew=skew)
+
+    def with_class(self, topology_class: TopologyClass) -> "TopologySpec":
+        """A copy of this spec with a different topology class."""
+        return replace(self, topology_class=topology_class)
+
+
+def zipf_weights(n: int, s: float) -> tuple[float, ...]:
+    """Normalised Zipf(s) weights ``w_i ∝ 1 / i^s`` for ``i = 1..n``."""
+    if n < 1:
+        raise TopologyError(f"need at least one weight, got n={n}")
+    raw = [1.0 / (i ** s) for i in range(1, n + 1)]
+    total = sum(raw)
+    return tuple(w / total for w in raw)
+
+
+def _task_weights(rng: random.Random, n: int, spec: TopologySpec) -> tuple[float, ...]:
+    if spec.weight_skew is WeightSkew.UNIFORM:
+        return tuple(1.0 / n for _ in range(n))
+    weights = list(zipf_weights(n, spec.zipf_s))
+    rng.shuffle(weights)
+    return tuple(weights)
+
+
+def _legal_structured_pattern(n_up: int, n_down: int) -> Partitioning:
+    """The unique non-full pattern legal for the given parallelism pair."""
+    if n_up == n_down:
+        return Partitioning.ONE_TO_ONE
+    if n_up < n_down:
+        return Partitioning.SPLIT
+    return Partitioning.MERGE
+
+
+def _pick_pattern(rng: random.Random, spec: TopologySpec, n_up: int, n_down: int) -> Partitioning:
+    if spec.topology_class is TopologyClass.FULL:
+        return Partitioning.FULL
+    if spec.topology_class is TopologyClass.STRUCTURED:
+        return _legal_structured_pattern(n_up, n_down)
+    if rng.random() < spec.full_edge_probability:
+        return Partitioning.FULL
+    return _legal_structured_pattern(n_up, n_down)
+
+
+def generate_topology(spec: TopologySpec, seed: int) -> Topology:
+    """Generate one random topology for ``spec``; deterministic in ``seed``."""
+    rng = random.Random(seed)
+    n_ops = rng.randint(*spec.n_operators)
+    n_sources = rng.randint(*spec.n_sources)
+
+    specs: list[OperatorSpec] = []
+    for s in range(n_sources):
+        par = rng.randint(*spec.parallelism)
+        specs.append(
+            OperatorSpec(f"S{s}", par, OperatorKind.SOURCE,
+                         task_weights=_task_weights(rng, par, spec))
+        )
+
+    n_joins = round(spec.join_fraction * n_ops)
+    join_positions = set(rng.sample(range(n_ops), n_joins)) if n_joins else set()
+
+    edges: list[StreamEdge] = []
+    # Operators are generated in topological order; each picks upstream
+    # neighbours among all previously generated operators (sources included).
+    for pos in range(n_ops):
+        par = rng.randint(*spec.parallelism)
+        is_join = pos in join_positions and len(specs) >= 2
+        kind = OperatorKind.CORRELATED if is_join else OperatorKind.INDEPENDENT
+        name = f"O{pos}"
+        op = OperatorSpec(
+            name, par, kind,
+            selectivity=rng.uniform(*spec.selectivity),
+            task_weights=_task_weights(rng, par, spec),
+        )
+        n_upstream = 2 if is_join else 1
+        upstream = rng.sample(range(len(specs)), n_upstream)
+        specs.append(op)
+        for u in upstream:
+            up = specs[u]
+            edges.append(StreamEdge(up.name, name, _pick_pattern(rng, spec, up.parallelism, par)))
+
+    # Connect every dangling non-final operator into the last operator so the
+    # topology has a single output operator (multi-sink topologies are still
+    # supported by the metric; the generator just keeps figures comparable).
+    with_downstream = {e.upstream for e in edges}
+    sink = specs[-1]
+    for op in specs[:-1]:
+        if op.name not in with_downstream and not Topology_has_path(edges, op.name, sink.name):
+            edges.append(
+                StreamEdge(op.name, sink.name,
+                           _pick_pattern(rng, spec, op.parallelism, sink.parallelism))
+            )
+    return Topology(specs, edges)
+
+
+def Topology_has_path(edges: list[StreamEdge], src: str, dst: str) -> bool:
+    """Whether ``dst`` is reachable from ``src`` following ``edges``."""
+    adjacency: dict[str, list[str]] = {}
+    for e in edges:
+        adjacency.setdefault(e.upstream, []).append(e.downstream)
+    frontier, seen = [src], set()
+    while frontier:
+        node = frontier.pop()
+        if node == dst:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(adjacency.get(node, ()))
+    return False
+
+
+def generate_source_rates(topology: Topology, seed: int,
+                          base_rate: float = 1000.0,
+                          jitter: float = 0.25) -> SourceRates:
+    """Random per-operator source rates around ``base_rate`` (± ``jitter``)."""
+    rng = random.Random(seed ^ 0x5EED)
+    per_operator = {
+        spec.name: base_rate * rng.uniform(1.0 - jitter, 1.0 + jitter)
+        for spec in topology.sources()
+    }
+    return SourceRates(per_operator=per_operator)

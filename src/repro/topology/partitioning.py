@@ -1,0 +1,135 @@
+"""The four partitioning patterns between neighbouring operators (Sec. II-A).
+
+Given an upstream operator with ``N1`` tasks and a downstream operator with
+``N2`` tasks, the paper distinguishes:
+
+* **one-to-one** — bijection between upstream and downstream tasks.
+* **split** — each upstream task feeds several downstream tasks; every
+  downstream task has exactly one upstream feeder.
+* **merge** — each upstream task feeds exactly one downstream task; every
+  downstream task has several upstream feeders.
+* **full** — every upstream task feeds every downstream task.
+
+This module materialises each pattern as a *substream weight map*:
+``(upstream_index, downstream_index) -> fraction`` where the fraction is the
+share of the upstream task's output routed along that substream.  Weights out
+of one upstream task always sum to 1, so substream rates can be derived by
+multiplying with the upstream task's output rate.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+
+from repro.errors import TopologyError
+from repro.topology.operators import OperatorSpec
+
+
+class Partitioning(enum.Enum):
+    """Partitioning pattern of the stream between two neighbouring operators."""
+
+    ONE_TO_ONE = "one-to-one"
+    SPLIT = "split"
+    MERGE = "merge"
+    FULL = "full"
+
+
+#: Type alias for a substream weight map.
+SubstreamWeights = Mapping[tuple[int, int], float]
+
+
+def _split_group(downstream_index: int, n_up: int, n_down: int) -> int:
+    """Upstream feeder of ``downstream_index`` under contiguous split blocks."""
+    return downstream_index * n_up // n_down
+
+
+def _merge_target(upstream_index: int, n_up: int, n_down: int) -> int:
+    """Downstream target of ``upstream_index`` under contiguous merge blocks."""
+    return upstream_index * n_down // n_up
+
+
+def validate_pattern(upstream: OperatorSpec, downstream: OperatorSpec,
+                     pattern: Partitioning) -> None:
+    """Raise :class:`TopologyError` if ``pattern`` is illegal for the pair.
+
+    The constraints follow the paper's definitions: one-to-one requires equal
+    parallelism; split requires strictly more downstream than upstream tasks;
+    merge requires strictly more upstream than downstream tasks.  Full places
+    no constraint.
+    """
+    n_up, n_down = upstream.parallelism, downstream.parallelism
+    if pattern is Partitioning.ONE_TO_ONE and n_up != n_down:
+        raise TopologyError(
+            f"one-to-one between {upstream.name!r} ({n_up} tasks) and "
+            f"{downstream.name!r} ({n_down} tasks) requires equal parallelism"
+        )
+    if pattern is Partitioning.SPLIT and n_down <= n_up:
+        raise TopologyError(
+            f"split from {upstream.name!r} ({n_up}) to {downstream.name!r} ({n_down}) "
+            "requires more downstream than upstream tasks"
+        )
+    if pattern is Partitioning.MERGE and n_up <= n_down:
+        raise TopologyError(
+            f"merge from {upstream.name!r} ({n_up}) to {downstream.name!r} ({n_down}) "
+            "requires more upstream than downstream tasks"
+        )
+
+
+def substream_weights(upstream: OperatorSpec, downstream: OperatorSpec,
+                      pattern: Partitioning) -> dict[tuple[int, int], float]:
+    """Build the substream weight map for one edge.
+
+    Weights routed out of each upstream task sum to 1.  For patterns that fan
+    out (split, full), an upstream task's output is divided across its
+    downstream targets proportionally to the targets' key-space weights
+    (:attr:`OperatorSpec.task_weights`), so workload skew configured on the
+    downstream operator is reflected in substream rates.
+    """
+    validate_pattern(upstream, downstream, pattern)
+    n_up, n_down = upstream.parallelism, downstream.parallelism
+    weights: dict[tuple[int, int], float] = {}
+
+    if pattern is Partitioning.ONE_TO_ONE:
+        for i in range(n_up):
+            weights[(i, i)] = 1.0
+        return weights
+
+    if pattern is Partitioning.MERGE:
+        for i in range(n_up):
+            weights[(i, _merge_target(i, n_up, n_down))] = 1.0
+        return weights
+
+    if pattern is Partitioning.SPLIT:
+        groups: dict[int, list[int]] = {}
+        for j in range(n_down):
+            groups.setdefault(_split_group(j, n_up, n_down), []).append(j)
+        for i in range(n_up):
+            members = groups.get(i, [])
+            if not members:
+                raise TopologyError(
+                    f"split from {upstream.name!r} to {downstream.name!r} leaves "
+                    f"upstream task {i} without downstream targets"
+                )
+            total = sum(downstream.weight_of(j) for j in members)
+            for j in members:
+                share = downstream.weight_of(j) / total if total > 0 else 1.0 / len(members)
+                weights[(i, j)] = share
+        return weights
+
+    # FULL: every upstream task feeds every downstream task, split by the
+    # downstream key-space weights.
+    for i in range(n_up):
+        for j in range(n_down):
+            weights[(i, j)] = downstream.weight_of(j)
+    return weights
+
+
+def downstream_targets(weights: SubstreamWeights, upstream_index: int) -> list[int]:
+    """Downstream task indices fed by ``upstream_index`` under ``weights``."""
+    return sorted(j for (i, j) in weights if i == upstream_index)
+
+
+def upstream_feeders(weights: SubstreamWeights, downstream_index: int) -> list[int]:
+    """Upstream task indices feeding ``downstream_index`` under ``weights``."""
+    return sorted(i for (i, j) in weights if j == downstream_index)

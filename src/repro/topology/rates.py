@@ -1,0 +1,123 @@
+"""Stream-rate propagation through a topology.
+
+The Output Fidelity metric (Sec. III-A) weighs information losses by stream
+rates: substream rates within an input stream (Eq. 1), and sink output rates
+(Eq. 4).  This module derives all of those from per-source rates:
+
+* a source task's output rate is given (or derived from an operator-level
+  rate split by task weights);
+* an independent-input task's *effective input* rate is the sum of its input
+  stream rates, a correlated-input task's is their product (Cartesian
+  effective input, Sec. III-A.1);
+* a task's output rate is ``selectivity × effective input rate``;
+* a substream's rate is the producing task's output rate times the substream
+  weight from :mod:`repro.topology.partitioning`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import RateError
+from repro.topology.graph import Topology
+from repro.topology.operators import TaskId
+
+
+@dataclass(frozen=True)
+class StreamRates:
+    """All derived rates of a topology under fixed source rates.
+
+    Attributes
+    ----------
+    task_output:
+        Output-stream rate of every task (``λ_out`` in the paper).
+    substream:
+        Rate of every task-to-task substream.
+    input_stream:
+        Rate of every (task, upstream operator) input stream (``λ_in``).
+    """
+
+    task_output: Mapping[TaskId, float]
+    substream: Mapping[tuple[TaskId, TaskId], float]
+    input_stream: Mapping[tuple[TaskId, str], float]
+
+    def output_rate(self, task: TaskId) -> float:
+        """Output rate of ``task`` (raises for unknown tasks)."""
+        try:
+            return self.task_output[task]
+        except KeyError:
+            raise RateError(f"no rate known for task {task!r}") from None
+
+    def substream_rate(self, src: TaskId, dst: TaskId) -> float:
+        """Rate of the substream from ``src`` to ``dst`` (0.0 if disconnected)."""
+        return self.substream.get((src, dst), 0.0)
+
+    def input_stream_rate(self, task: TaskId, upstream_operator: str) -> float:
+        """Rate of the input stream of ``task`` sourced from ``upstream_operator``."""
+        return self.input_stream.get((task, upstream_operator), 0.0)
+
+
+@dataclass
+class SourceRates:
+    """Source rate specification: per operator (split by task weights) or per task.
+
+    ``per_task`` entries override the operator-level split for specific tasks.
+    """
+
+    per_operator: dict[str, float] = field(default_factory=dict)
+    per_task: dict[TaskId, float] = field(default_factory=dict)
+
+    def rate_of(self, topology: Topology, task: TaskId) -> float:
+        """The configured emission rate of source task ``task``."""
+        if task in self.per_task:
+            return self.per_task[task]
+        spec = topology.operator(task.operator)
+        if task.operator in self.per_operator:
+            return self.per_operator[task.operator] * spec.weight_of(task.index)
+        raise RateError(
+            f"no source rate configured for task {task!r}; provide per_operator "
+            f"or per_task rates for every source operator"
+        )
+
+
+def uniform_source_rates(topology: Topology, rate_per_task: float = 1.0) -> SourceRates:
+    """Convenience: every source task emits at ``rate_per_task``."""
+    if rate_per_task <= 0:
+        raise RateError(f"rate_per_task must be positive, got {rate_per_task}")
+    return SourceRates(per_task={t: rate_per_task for t in topology.source_tasks()})
+
+
+def propagate_rates(topology: Topology, sources: SourceRates) -> StreamRates:
+    """Propagate source rates through the topology in topological order."""
+    task_output: dict[TaskId, float] = {}
+    substream: dict[tuple[TaskId, TaskId], float] = {}
+    input_stream: dict[tuple[TaskId, str], float] = {}
+
+    for name in topology.topological_order():
+        spec = topology.operator(name)
+        for task in spec.tasks():
+            if spec.is_source:
+                rate = sources.rate_of(topology, task)
+                if rate < 0:
+                    raise RateError(f"source rate of {task!r} must be >= 0, got {rate}")
+            else:
+                stream_rates: list[float] = []
+                for stream in topology.input_streams(task):
+                    stream_rate = sum(
+                        task_output[src] * weight for src, weight in stream.substreams
+                    )
+                    input_stream[(task, stream.upstream_operator)] = stream_rate
+                    stream_rates.append(stream_rate)
+                if spec.is_correlated:
+                    effective = 1.0
+                    for r in stream_rates:
+                        effective *= r
+                else:
+                    effective = sum(stream_rates)
+                rate = spec.selectivity * effective
+            task_output[task] = rate
+            for dst, weight in topology.output_substreams(task):
+                substream[(task, dst)] = rate * weight
+
+    return StreamRates(task_output, substream, input_stream)

@@ -1,0 +1,23 @@
+"""Workload generators: synthetic rates, WorldCup-like log, traffic streams."""
+
+from repro.workloads.sources import UniformRateSource
+from repro.workloads.traffic import (
+    Incident,
+    IncidentReportSource,
+    IncidentSchedule,
+    UserLocationSource,
+)
+from repro.workloads.worldcup import WorldCupAccessLog
+from repro.workloads.zipf import batch_rng, sample_zipf, zipf_probabilities
+
+__all__ = [
+    "Incident",
+    "IncidentReportSource",
+    "IncidentSchedule",
+    "UniformRateSource",
+    "UserLocationSource",
+    "WorldCupAccessLog",
+    "batch_rng",
+    "sample_zipf",
+    "zipf_probabilities",
+]

@@ -1,0 +1,140 @@
+"""Synthetic community-navigation workload for Q2 (Sec. VI-B).
+
+The paper synthesises this dataset itself (real traces are private): 100 000
+users spread over 1 000 virtual road segments by a Zipfian distribution
+(``s = 0.5``); an incident occurs every ``incident_interval`` seconds on a
+segment chosen with probability proportional to its population; every user on
+an incident segment reports it.  Two streams result:
+
+* the **user-location stream** — ``(segment, speed)`` records at a fixed
+  aggregate rate; speeds drop below the jam threshold while an incident is
+  active on the segment;
+* the **incident stream** — ``(segment, incident_id)`` user reports emitted
+  in the batch where the incident starts.
+
+Both sources share one :class:`IncidentSchedule`, so the join in Q2 finds the
+jams the location stream exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.logic import SourceFunction
+from repro.engine.tuples import KeyedTuple
+from repro.errors import WorkloadError
+from repro.topology.operators import TaskId
+from repro.workloads.zipf import batch_rng, sample_zipf, zipf_probabilities
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One scheduled incident."""
+
+    incident_id: str
+    segment: int
+    start_time: float
+    duration: float
+
+    def active_at(self, time: float) -> bool:
+        """Whether the incident is ongoing at ``time``."""
+        return self.start_time <= time < self.start_time + self.duration
+
+
+class IncidentSchedule:
+    """Deterministic incident timeline shared by both Q2 sources."""
+
+    def __init__(self, *, segments: int = 1000, users: int = 100_000,
+                 zipf_s: float = 0.5, incident_interval: float = 2.0,
+                 incident_duration: float = 60.0, horizon: float = 600.0,
+                 seed: int = 11):
+        if segments < 1:
+            raise WorkloadError(f"segments must be >= 1, got {segments}")
+        if incident_interval <= 0:
+            raise WorkloadError("incident_interval must be positive")
+        self.segments = segments
+        self.users = users
+        self.seed = seed
+        self.segment_probabilities = zipf_probabilities(segments, zipf_s)
+        self.population = np.round(self.segment_probabilities * users).astype(int)
+        rng = batch_rng(seed, "incident-schedule")
+        times = np.arange(incident_interval, horizon, incident_interval)
+        picks = sample_zipf(rng, self.segment_probabilities, len(times))
+        self.incidents: list[Incident] = [
+            Incident(f"inc-{i:05d}", int(seg), float(t), incident_duration)
+            for i, (t, seg) in enumerate(zip(times, picks))
+        ]
+
+    def active_segments(self, time: float) -> set[int]:
+        """Segments with an ongoing incident at ``time``."""
+        return {inc.segment for inc in self.incidents if inc.active_at(time)}
+
+    def starting_in(self, start: float, end: float) -> list[Incident]:
+        """Incidents whose start time lies in ``[start, end)``."""
+        return [i for i in self.incidents if start <= i.start_time < end]
+
+
+class UserLocationSource(SourceFunction):
+    """Location records ``(segment, speed)``; jams while incidents are active."""
+
+    def __init__(self, schedule: IncidentSchedule, rate_per_task: float, *,
+                 batch_interval: float = 1.0, free_flow_speed: float = 60.0,
+                 jam_speed: float = 10.0):
+        if rate_per_task < 0:
+            raise WorkloadError(f"rate must be >= 0, got {rate_per_task}")
+        self.schedule = schedule
+        self.rate_per_task = rate_per_task
+        self.batch_interval = batch_interval
+        self.free_flow_speed = free_flow_speed
+        self.jam_speed = jam_speed
+
+    def tuples_per_batch(self) -> int:
+        """Number of location records each task emits per batch."""
+        return round(self.rate_per_task * self.batch_interval)
+
+    def tuples_for_batch(self, task: TaskId, batch_index: int) -> list[KeyedTuple]:
+        time = batch_index * self.batch_interval
+        rng = batch_rng(self.schedule.seed, "locations", task, batch_index)
+        segments = sample_zipf(
+            rng, self.schedule.segment_probabilities, self.tuples_per_batch()
+        )
+        jammed = self.schedule.active_segments(time)
+        out: list[KeyedTuple] = []
+        for segment in segments:
+            seg = int(segment)
+            base = self.jam_speed if seg in jammed else self.free_flow_speed
+            speed = base * (0.8 + 0.4 * rng.random())
+            out.append((f"seg-{seg:04d}", round(speed, 2)))
+        return out
+
+
+class IncidentReportSource(SourceFunction):
+    """User incident reports emitted in the batch where an incident starts.
+
+    ``parallelism`` is the parallelism of the source operator this function
+    is registered for; reports are sharded across its tasks so every task
+    emits a disjoint portion of each incident's reports.
+    """
+
+    def __init__(self, schedule: IncidentSchedule, parallelism: int, *,
+                 batch_interval: float = 1.0, max_reports_per_incident: int = 50):
+        if parallelism < 1:
+            raise WorkloadError(f"parallelism must be >= 1, got {parallelism}")
+        self.schedule = schedule
+        self.parallelism = parallelism
+        self.batch_interval = batch_interval
+        self.max_reports = max_reports_per_incident
+
+    def tuples_for_batch(self, task: TaskId, batch_index: int) -> list[KeyedTuple]:
+        start = batch_index * self.batch_interval
+        end = start + self.batch_interval
+        out: list[KeyedTuple] = []
+        for incident in self.schedule.starting_in(start, end):
+            population = int(self.schedule.population[incident.segment])
+            reports = max(1, min(self.max_reports, population))
+            for r in range(reports):
+                if r % self.parallelism == task.index:
+                    out.append((f"seg-{incident.segment:04d}", incident.incident_id))
+        return out

@@ -1,0 +1,43 @@
+"""Zipfian sampling utilities shared by the workload generators.
+
+Generators must be *pure* in ``(seed, task, batch_index)`` — the engine
+re-invokes them when sources recover or replay — so sampling state is derived
+from a fresh, deterministic PRNG per call instead of being kept across calls.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def zipf_probabilities(n: int, s: float) -> np.ndarray:
+    """Normalised Zipf(s) probabilities over ranks ``1..n``."""
+    if n < 1:
+        raise WorkloadError(f"need at least one item, got n={n}")
+    if s < 0:
+        raise WorkloadError(f"zipf exponent must be >= 0, got s={s}")
+    raw = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** s
+    return raw / raw.sum()
+
+
+def batch_rng(seed: int, *components: object) -> np.random.Generator:
+    """A deterministic PRNG keyed by ``seed`` and arbitrary components."""
+    mixed = seed & 0xFFFF_FFFF
+    for component in components:
+        digest = zlib.crc32(str(component).encode("utf-8"))
+        mixed = (mixed * 1_000_003 + digest) % (2 ** 63)
+    return np.random.Generator(np.random.PCG64(mixed))
+
+
+def sample_zipf(rng: np.random.Generator, probabilities: np.ndarray,
+                count: int) -> np.ndarray:
+    """Sample ``count`` item indices under the given probabilities."""
+    if count < 0:
+        raise WorkloadError(f"sample count must be >= 0, got {count}")
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    return rng.choice(len(probabilities), size=count, p=probabilities)

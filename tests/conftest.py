@@ -1,0 +1,132 @@
+"""Shared fixtures: canonical topologies from the paper's figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import (
+    Partitioning,
+    SourceRates,
+    TopologyBuilder,
+    propagate_rates,
+    uniform_source_rates,
+)
+
+
+@pytest.fixture
+def fig2_topology():
+    """The illustrating topology of Fig. 2: O1, O2 feeding O3 (join).
+
+    Source output rates are chosen so the paper's worked example holds:
+    stream 1 (from O1) carries rate 3, stream 2 (from O2) rates 3 + 2; when
+    t22 fails, ``IL_out(t31) = 2/5`` for a correlated-input O3 and ``1/4``
+    for an independent-input one.
+    """
+    return (
+        TopologyBuilder()
+        .source("O1", 2, task_weights=(2.0, 1.0))
+        .source("O2", 2, task_weights=(3.0, 2.0))
+        .join("O3", 1)
+        .connect("O1", "O3", Partitioning.FULL)
+        .connect("O2", "O3", Partitioning.FULL)
+        .build()
+    )
+
+
+@pytest.fixture
+def fig2_rates(fig2_topology):
+    from repro.topology import TaskId
+
+    return propagate_rates(fig2_topology, SourceRates(per_task={
+        TaskId("O1", 0): 2.0, TaskId("O1", 1): 1.0,
+        TaskId("O2", 0): 3.0, TaskId("O2", 1): 2.0,
+    }))
+
+
+@pytest.fixture
+def fig2_independent():
+    """Fig. 2 variant where O3 is an independent-input operator."""
+    return (
+        TopologyBuilder()
+        .source("O1", 2, task_weights=(2.0, 1.0))
+        .source("O2", 2, task_weights=(3.0, 2.0))
+        .operator("O3", 1)
+        .connect("O1", "O3", Partitioning.FULL)
+        .connect("O2", "O3", Partitioning.FULL)
+        .build()
+    )
+
+
+@pytest.fixture
+def fig2_independent_rates(fig2_independent):
+    from repro.topology import TaskId
+
+    return propagate_rates(fig2_independent, SourceRates(per_task={
+        TaskId("O1", 0): 2.0, TaskId("O1", 1): 1.0,
+        TaskId("O2", 0): 3.0, TaskId("O2", 1): 2.0,
+    }))
+
+
+@pytest.fixture
+def chain_topology():
+    """A 4-operator full-partitioned chain: S(4) -> A(4) -> B(2) -> C(1)."""
+    return (
+        TopologyBuilder()
+        .source("S", 4)
+        .operator("A", 4, selectivity=0.5)
+        .operator("B", 2, selectivity=0.5)
+        .operator("C", 1, selectivity=0.5)
+        .chain("S", "A", "B", "C", pattern=Partitioning.FULL)
+        .build()
+    )
+
+
+@pytest.fixture
+def chain_rates(chain_topology):
+    return propagate_rates(chain_topology, uniform_source_rates(chain_topology, 100.0))
+
+
+@pytest.fixture
+def merge_tree_topology():
+    """A binary merge tree: S(8) -> A(4) -> B(2) -> C(1), all merge edges."""
+    return (
+        TopologyBuilder()
+        .source("S", 8)
+        .operator("A", 4)
+        .operator("B", 2)
+        .operator("C", 1)
+        .chain("S", "A", "B", "C", pattern=Partitioning.MERGE)
+        .build()
+    )
+
+
+@pytest.fixture
+def merge_tree_rates(merge_tree_topology):
+    return propagate_rates(
+        merge_tree_topology, uniform_source_rates(merge_tree_topology, 100.0)
+    )
+
+
+@pytest.fixture
+def join_topology():
+    """Two branches joined: Sa(2)->A(2), Sb(2)->B(2), join J(2), sink K(1)."""
+    return (
+        TopologyBuilder()
+        .source("Sa", 2)
+        .source("Sb", 2)
+        .operator("A", 2)
+        .operator("B", 2)
+        .join("J", 2)
+        .operator("K", 1)
+        .connect("Sa", "A", Partitioning.ONE_TO_ONE)
+        .connect("Sb", "B", Partitioning.ONE_TO_ONE)
+        .connect("A", "J", Partitioning.FULL)
+        .connect("B", "J", Partitioning.FULL)
+        .connect("J", "K", Partitioning.FULL)
+        .build()
+    )
+
+
+@pytest.fixture
+def join_rates(join_topology):
+    return propagate_rates(join_topology, uniform_source_rates(join_topology, 10.0))

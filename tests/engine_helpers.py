@@ -1,0 +1,49 @@
+"""Shared builders for engine tests: a tiny deterministic pipeline."""
+
+from __future__ import annotations
+
+from repro.engine import EngineConfig, LogicFactory, StreamEngine
+from repro.queries import WindowedSelectivityOperator
+from repro.topology import Partitioning, TopologyBuilder
+from repro.workloads import UniformRateSource
+
+
+def small_topology(source_parallelism: int = 2, depth_parallelism=(2, 1)):
+    """S(n) -> A(...) -> B(...) with merge/full edges, selectivity 1."""
+    builder = TopologyBuilder().source("S", source_parallelism)
+    names = ["S"]
+    for pos, par in enumerate(depth_parallelism):
+        name = f"L{pos}"
+        builder.operator(name, par)
+        names.append(name)
+    for up, down in zip(names, names[1:]):
+        builder.connect(up, down, Partitioning.FULL)
+    return builder.build()
+
+
+def small_logic(rate: float = 20.0, window: float = 10.0,
+                selectivity: float = 1.0, key_space: int = 16) -> LogicFactory:
+    factory = LogicFactory()
+    factory.register_source("S", UniformRateSource(rate, key_space=key_space))
+    for name in ("L0", "L1", "L2", "L3"):
+        factory.register_operator(
+            name, lambda: WindowedSelectivityOperator(window, selectivity)
+        )
+    return factory
+
+
+def build_engine(config: EngineConfig | None = None, *, plan=(),
+                 source_parallelism: int = 2, depth_parallelism=(2, 1),
+                 rate: float = 20.0, window: float = 10.0,
+                 selectivity: float = 1.0) -> StreamEngine:
+    topology = small_topology(source_parallelism, depth_parallelism)
+    logic = small_logic(rate, window, selectivity)
+    return StreamEngine(
+        topology, logic, config or EngineConfig(), plan=plan,
+        source_replay_window_batches=round(window),
+    )
+
+
+def sink_outputs(engine: StreamEngine) -> dict[int, tuple]:
+    """Sink tuples by batch index (single-sink topologies)."""
+    return {r.index: r.tuples for r in engine.metrics.sink_records}

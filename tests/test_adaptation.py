@@ -1,0 +1,129 @@
+"""Tests for dynamic plan adaptation (Sec. V-C, implemented as an extension)."""
+
+import pytest
+
+from repro.core import StructureAwarePlanner, worst_case_fidelity
+from repro.core.adaptation import DynamicPlanAdapter, PlanTransition
+from repro.errors import PlanningError
+from repro.topology import (
+    Partitioning,
+    SourceRates,
+    TaskId,
+    TopologyBuilder,
+    propagate_rates,
+)
+
+
+@pytest.fixture
+def two_branch_topology():
+    """Two parallel source->worker branches merging into one sink."""
+    return (
+        TopologyBuilder()
+        .source("S", 2)
+        .operator("W", 2)
+        .operator("K", 1)
+        .connect("S", "W", Partitioning.ONE_TO_ONE)
+        .connect("W", "K", Partitioning.MERGE)
+        .build()
+    )
+
+
+def _rates(topology, left, right):
+    return propagate_rates(topology, SourceRates(per_task={
+        TaskId("S", 0): left, TaskId("S", 1): right,
+    }))
+
+
+class TestPlanTransition:
+    def test_activate_and_deactivate_sets(self):
+        a, b = TaskId("A", 0), TaskId("A", 1)
+        transition = PlanTransition(frozenset({a}), frozenset({b}))
+        assert transition.deactivate == {a}
+        assert transition.activate == {b}
+        assert transition.churn == 2
+        assert not transition.is_noop
+
+    def test_noop(self):
+        a = TaskId("A", 0)
+        transition = PlanTransition(frozenset({a}), frozenset({a}))
+        assert transition.is_noop and transition.churn == 0
+
+
+class TestDynamicPlanAdapter:
+    def test_bootstrap_adopts_initial_plan(self, two_branch_topology):
+        rates = _rates(two_branch_topology, 100.0, 10.0)
+        adapter = DynamicPlanAdapter(StructureAwarePlanner(), budget=3)
+        plan = adapter.bootstrap(two_branch_topology, rates)
+        assert adapter.current_plan == plan.replicated
+        # The heavy left branch is the one worth replicating.
+        assert TaskId("S", 0) in adapter.current_plan
+
+    def test_adapts_when_skew_flips(self, two_branch_topology):
+        adapter = DynamicPlanAdapter(StructureAwarePlanner(), budget=3)
+        adapter.bootstrap(two_branch_topology, _rates(two_branch_topology, 100.0, 10.0))
+        flipped = _rates(two_branch_topology, 10.0, 100.0)
+        decision = adapter.update(two_branch_topology, flipped)
+        assert decision.applied
+        assert TaskId("S", 1) in adapter.current_plan
+        assert TaskId("S", 0) in decision.transition.deactivate
+
+    def test_stable_rates_cause_no_churn(self, two_branch_topology):
+        rates = _rates(two_branch_topology, 100.0, 10.0)
+        adapter = DynamicPlanAdapter(StructureAwarePlanner(), budget=3)
+        adapter.bootstrap(two_branch_topology, rates)
+        decision = adapter.update(two_branch_topology, rates)
+        assert not decision.applied
+        assert decision.transition.is_noop
+        assert adapter.total_churn() == 0
+
+    def test_hysteresis_suppresses_marginal_switches(self, two_branch_topology):
+        adapter = DynamicPlanAdapter(StructureAwarePlanner(), budget=3,
+                                     min_gain_per_change=0.05)
+        adapter.bootstrap(two_branch_topology, _rates(two_branch_topology, 100.0, 90.0))
+        before = adapter.current_plan
+        # A tiny flip: 90/100 instead of 100/90 -> gain below threshold.
+        decision = adapter.update(
+            two_branch_topology, _rates(two_branch_topology, 90.0, 100.0)
+        )
+        assert not decision.applied
+        assert adapter.current_plan == before
+
+    def test_large_shift_clears_hysteresis(self, two_branch_topology):
+        adapter = DynamicPlanAdapter(StructureAwarePlanner(), budget=3,
+                                     min_gain_per_change=0.05)
+        adapter.bootstrap(two_branch_topology, _rates(two_branch_topology, 100.0, 10.0))
+        decision = adapter.update(
+            two_branch_topology, _rates(two_branch_topology, 5.0, 200.0)
+        )
+        assert decision.applied
+        assert decision.gain > 0.0
+
+    def test_adapted_plan_beats_stale_plan(self, two_branch_topology):
+        stale = DynamicPlanAdapter(StructureAwarePlanner(), budget=3)
+        stale.bootstrap(two_branch_topology, _rates(two_branch_topology, 100.0, 10.0))
+        flipped = _rates(two_branch_topology, 10.0, 100.0)
+        adaptive = DynamicPlanAdapter(StructureAwarePlanner(), budget=3)
+        adaptive.bootstrap(two_branch_topology, _rates(two_branch_topology, 100.0, 10.0))
+        adaptive.update(two_branch_topology, flipped)
+        stale_value = worst_case_fidelity(
+            two_branch_topology, flipped, stale.current_plan
+        )
+        adaptive_value = worst_case_fidelity(
+            two_branch_topology, flipped, adaptive.current_plan
+        )
+        assert adaptive_value > stale_value
+
+    def test_history_records_every_round(self, two_branch_topology):
+        rates = _rates(two_branch_topology, 100.0, 10.0)
+        adapter = DynamicPlanAdapter(StructureAwarePlanner(), budget=3)
+        adapter.bootstrap(two_branch_topology, rates)
+        adapter.update(two_branch_topology, rates)
+        adapter.update(two_branch_topology, rates)
+        assert len(adapter.history) == 2
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(PlanningError):
+            DynamicPlanAdapter(StructureAwarePlanner(), budget=-1)
+        with pytest.raises(PlanningError):
+            DynamicPlanAdapter(StructureAwarePlanner(), budget=1,
+                               min_gain_per_change=-0.1)

@@ -1,0 +1,82 @@
+"""Tests for the plan/topology analysis helpers."""
+
+import pytest
+
+from repro.core import StructureAwarePlanner
+from repro.core.analysis import (
+    criticality_report,
+    explain_plan,
+    fidelity_under_failures,
+    marginal_gains,
+)
+from repro.topology import TaskId
+
+
+class TestCriticality:
+    def test_sink_ranks_most_critical(self, chain_topology, chain_rates):
+        report = criticality_report(chain_topology, chain_rates)
+        assert report[0].task == TaskId("C", 0)
+        assert report[0].damage == 1.0
+
+    def test_covers_every_task(self, chain_topology, chain_rates):
+        report = criticality_report(chain_topology, chain_rates)
+        assert len(report) == chain_topology.num_tasks
+
+    def test_damage_ordering_is_descending(self, join_topology, join_rates):
+        report = criticality_report(join_topology, join_rates)
+        damages = [e.damage for e in report]
+        assert damages == sorted(damages, reverse=True)
+
+
+class TestExplainPlan:
+    def test_complete_tree_detected(self, chain_topology, chain_rates):
+        tree = {TaskId("S", 0), TaskId("A", 0), TaskId("B", 0), TaskId("C", 0)}
+        explanation = explain_plan(chain_topology, chain_rates, tree)
+        assert explanation.complete_trees == (frozenset(tree),)
+        assert not explanation.stranded_tasks
+        assert explanation.fidelity > 0.0
+
+    def test_stranded_tasks_reported(self, chain_topology, chain_rates):
+        # No source: nothing completes; everything is dead weight.
+        plan = {TaskId("A", 0), TaskId("B", 0), TaskId("C", 0)}
+        explanation = explain_plan(chain_topology, chain_rates, plan)
+        assert explanation.complete_trees == ()
+        assert explanation.stranded_tasks == frozenset(plan)
+        assert explanation.fidelity == 0.0
+
+    def test_sa_plans_have_no_stranded_tasks(self, join_topology, join_rates):
+        plan = StructureAwarePlanner().plan(join_topology, join_rates, 7)
+        explanation = explain_plan(join_topology, join_rates, plan.replicated)
+        assert not explanation.stranded_tasks
+        assert explanation.effective_tasks == plan.replicated
+
+
+class TestMarginalGains:
+    def test_completing_task_has_positive_gain(self, chain_topology, chain_rates):
+        partial = {TaskId("A", 0), TaskId("B", 0), TaskId("C", 0)}
+        gains = marginal_gains(chain_topology, chain_rates, partial,
+                               candidates=chain_topology.tasks_of("S"))
+        assert gains[0].gain > 0.0
+
+    def test_gains_sorted_descending(self, chain_topology, chain_rates):
+        gains = marginal_gains(chain_topology, chain_rates, frozenset())
+        values = [g.gain for g in gains]
+        assert values == sorted(values, reverse=True)
+
+    def test_default_pool_excludes_replicated(self, chain_topology, chain_rates):
+        plan = {TaskId("C", 0)}
+        gains = marginal_gains(chain_topology, chain_rates, plan)
+        assert all(g.task != TaskId("C", 0) for g in gains)
+
+
+class TestWhatIf:
+    def test_batch_scenarios(self, chain_topology, chain_rates):
+        scenarios = [
+            [],
+            [TaskId("S", 0)],
+            chain_topology.tasks(),
+        ]
+        values = fidelity_under_failures(chain_topology, chain_rates, scenarios)
+        assert values[0] == 1.0
+        assert values[1] == pytest.approx(0.75)
+        assert values[2] == 0.0

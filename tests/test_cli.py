@@ -1,0 +1,34 @@
+"""Tests for the experiments CLI (parsing and runner registry)."""
+
+import pytest
+
+from repro.experiments.cli import RUNNERS, main
+
+
+class TestRunnerRegistry:
+    def test_all_figures_registered(self):
+        assert set(RUNNERS) == {
+            "fig7", "fig8", "fig9", "fig10", "fig12", "fig13", "fig14",
+            "claims",
+        }
+
+    def test_runners_are_callables(self):
+        assert all(callable(fn) for fn in RUNNERS.values())
+
+
+class TestArgumentParsing:
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig99"])
+        assert excinfo.value.code != 0
+
+    def test_requires_at_least_one_figure(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_fast_claims_runs_end_to_end(self, capsys):
+        # claims is the cheapest full pipeline: engine run + planner sweep.
+        assert main(["claims", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Headline claims" in out
+        assert "claims done" in out

@@ -1,0 +1,93 @@
+"""Unit tests for the cluster / placement model."""
+
+import pytest
+
+from repro.engine import Cluster, NodeKind
+from repro.errors import SimulationError
+from repro.topology import TaskId, linear_chain
+
+
+class TestConstruction:
+    def test_creates_named_nodes(self):
+        cluster = Cluster(n_workers=2, n_standby=1)
+        assert cluster.node("worker-0").kind is NodeKind.WORKER
+        assert cluster.node("standby-0").kind is NodeKind.STANDBY
+
+    def test_requires_at_least_one_worker(self):
+        with pytest.raises(SimulationError):
+            Cluster(n_workers=0, n_standby=1)
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(SimulationError):
+            Cluster(1, 0).node("nope")
+
+
+class TestPlacement:
+    def test_round_robin_spreads_tasks(self):
+        topo = linear_chain([2, 2])
+        cluster = Cluster(n_workers=2, n_standby=0)
+        cluster.place_round_robin(topo)
+        hosted = [len(cluster.node(f"worker-{i}").tasks) for i in range(2)]
+        assert hosted == [2, 2]
+
+    def test_assign_moves_task(self):
+        topo = linear_chain([1, 1])
+        cluster = Cluster(n_workers=2, n_standby=0)
+        cluster.place_round_robin(topo)
+        task = TaskId("S", 0)
+        cluster.assign(task, "worker-1")
+        assert cluster.primary_node(task).name == "worker-1"
+        assert task not in cluster.node("worker-0").tasks
+
+    def test_primaries_must_run_on_workers(self):
+        cluster = Cluster(1, 1)
+        with pytest.raises(SimulationError):
+            cluster.assign(TaskId("S", 0), "standby-0")
+
+    def test_unplaced_task_raises(self):
+        with pytest.raises(SimulationError):
+            Cluster(1, 0).primary_node(TaskId("S", 0))
+
+    def test_standby_assignment_is_stable(self):
+        cluster = Cluster(1, 2)
+        task = TaskId("S", 0)
+        assert cluster.standby_node(task) is cluster.standby_node(task)
+
+    def test_standby_requires_standby_nodes(self):
+        with pytest.raises(SimulationError):
+            Cluster(1, 0).standby_node(TaskId("S", 0))
+
+
+class TestFailures:
+    def _placed(self):
+        topo = linear_chain([2, 2])
+        cluster = Cluster(n_workers=4, n_standby=1)
+        cluster.place_round_robin(topo)
+        return topo, cluster
+
+    def test_fail_nodes_returns_dead_tasks(self):
+        topo, cluster = self._placed()
+        died = cluster.fail_nodes(["worker-0"])
+        assert died == [TaskId("S", 0)]
+        assert cluster.node("worker-0").failed
+
+    def test_fail_nodes_idempotent(self):
+        _topo, cluster = self._placed()
+        assert cluster.fail_nodes(["worker-0"])
+        assert cluster.fail_nodes(["worker-0"]) == []
+
+    def test_restore_node(self):
+        _topo, cluster = self._placed()
+        cluster.fail_nodes(["worker-0"])
+        cluster.restore_node("worker-0")
+        assert not cluster.node("worker-0").failed
+
+    def test_nodes_hosting(self):
+        topo, cluster = self._placed()
+        names = cluster.nodes_hosting([TaskId("S", 0), TaskId("O1", 0)])
+        assert names == ["worker-0", "worker-2"]
+
+    def test_failed_tasks_lists_primaries_on_dead_nodes(self):
+        topo, cluster = self._placed()
+        cluster.fail_nodes(["worker-2"])
+        assert cluster.failed_tasks() == [TaskId("O1", 0)]

@@ -1,0 +1,55 @@
+"""Tests for the Internal Completeness baseline metric."""
+
+import pytest
+
+from repro.core import (
+    internal_completeness,
+    output_fidelity,
+    worst_case_completeness,
+)
+from repro.core.completeness import single_failure_completeness
+from repro.topology import TaskId
+
+
+class TestInternalCompleteness:
+    def test_no_failure_is_perfect(self, chain_topology, chain_rates):
+        assert internal_completeness(chain_topology, chain_rates, frozenset()) == 1.0
+
+    def test_all_failed_is_zero(self, chain_topology, chain_rates):
+        assert internal_completeness(
+            chain_topology, chain_rates, frozenset(chain_topology.tasks())
+        ) == 0.0
+
+    def test_within_unit_interval(self, join_topology, join_rates):
+        value = internal_completeness(join_topology, join_rates, {TaskId("A", 0)})
+        assert 0.0 <= value <= 1.0
+
+    def test_ignores_join_correlation(self, join_topology, join_rates):
+        """Losing one whole join branch: OF says all output lost, IC does not."""
+        failed = {TaskId("Sb", 0), TaskId("Sb", 1), TaskId("B", 0), TaskId("B", 1)}
+        of = output_fidelity(join_topology, join_rates, failed)
+        ic = internal_completeness(join_topology, join_rates, failed)
+        assert of == 0.0
+        assert ic > 0.0
+
+    def test_sink_failure_hurts_ic_less_than_of(self, chain_topology, chain_rates):
+        """IC weighs all tasks' input, so a dead sink is not total loss."""
+        failed = {TaskId("C", 0)}
+        of = output_fidelity(chain_topology, chain_rates, failed)
+        ic = internal_completeness(chain_topology, chain_rates, failed)
+        assert of == 0.0
+        assert ic > 0.0
+
+    def test_worst_case_uses_complement_of_plan(self, chain_topology, chain_rates):
+        full = worst_case_completeness(
+            chain_topology, chain_rates, chain_topology.tasks()
+        )
+        nothing = worst_case_completeness(chain_topology, chain_rates, ())
+        assert full == 1.0
+        assert nothing == 0.0
+
+    def test_single_failure_value(self, chain_topology, chain_rates):
+        value = single_failure_completeness(
+            chain_topology, chain_rates, TaskId("A", 0)
+        )
+        assert 0.0 < value < 1.0

@@ -1,0 +1,68 @@
+"""API surface checks: docstrings, exports, and the README quickstart."""
+
+import doctest
+import inspect
+
+import repro
+import repro.core
+import repro.engine
+import repro.experiments
+import repro.queries
+import repro.topology
+import repro.workloads
+
+
+PACKAGES = [repro, repro.core, repro.engine, repro.experiments,
+            repro.queries, repro.topology, repro.workloads]
+
+
+class TestApiSurface:
+    def test_all_exports_resolve(self):
+        for package in PACKAGES:
+            for name in package.__all__:
+                assert hasattr(package, name), f"{package.__name__}.{name}"
+
+    def test_all_lists_are_sorted(self):
+        for package in PACKAGES:
+            assert list(package.__all__) == sorted(package.__all__), (
+                f"{package.__name__}.__all__ is not sorted"
+            )
+
+    def test_public_items_have_docstrings(self):
+        for package in PACKAGES:
+            for name in package.__all__:
+                item = getattr(package, name)
+                if inspect.isclass(item) or inspect.isfunction(item):
+                    assert item.__doc__, f"{package.__name__}.{name} lacks a docstring"
+
+    def test_public_classes_public_methods_documented(self):
+        for package in (repro.core, repro.engine, repro.topology):
+            for name in package.__all__:
+                item = getattr(package, name)
+                if not inspect.isclass(item):
+                    continue
+                for method_name, method in inspect.getmembers(item, inspect.isfunction):
+                    if method_name.startswith("_"):
+                        continue
+                    # getdoc() resolves inherited docstrings for overrides.
+                    assert inspect.getdoc(method) is not None, (
+                        f"{item.__module__}.{item.__qualname__}.{method_name} "
+                        "lacks a docstring"
+                    )
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestDoctests:
+    def test_package_quickstart_doctest(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted > 0
+
+    def test_builder_doctest(self):
+        import repro.topology.builder as builder_module
+
+        results = doctest.testmod(builder_module, verbose=False)
+        assert results.failed == 0
+        assert results.attempted > 0

@@ -1,0 +1,133 @@
+"""Tests for Algorithm 1 (dynamic programming) and the brute-force oracle."""
+
+import pytest
+
+from repro.core import (
+    BruteForcePlanner,
+    DynamicProgrammingPlanner,
+    GreedyPlanner,
+    worst_case_fidelity,
+)
+from repro.errors import PlanningError
+from repro.topology import (
+    Partitioning,
+    TopologyBuilder,
+    linear_chain,
+    propagate_rates,
+    uniform_source_rates,
+)
+
+
+def _small_cases():
+    """Small topologies where the brute force oracle is affordable."""
+    chain = linear_chain([2, 2, 1])
+    skewed = (
+        TopologyBuilder()
+        .source("S", 2, task_weights=(3.0, 1.0))
+        .operator("A", 2, task_weights=(1.0, 2.0))
+        .operator("B", 1)
+        .chain("S", "A", "B", pattern=Partitioning.FULL)
+        .build()
+    )
+    join = (
+        TopologyBuilder()
+        .source("Sa", 2)
+        .source("Sb", 1)
+        .join("J", 2)
+        .operator("K", 1)
+        .connect("Sa", "J", Partitioning.FULL)
+        .connect("Sb", "J", Partitioning.FULL)
+        .connect("J", "K", Partitioning.FULL)
+        .build()
+    )
+    return [chain, skewed, join]
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("case", range(3))
+    @pytest.mark.parametrize("budget", [2, 3, 4, 5])
+    def test_dp_matches_brute_force_value(self, case, budget):
+        topology = _small_cases()[case]
+        rates = propagate_rates(topology, uniform_source_rates(topology, 10.0))
+        dp = DynamicProgrammingPlanner().plan(topology, rates, budget)
+        oracle = BruteForcePlanner().plan(topology, rates, budget)
+        dp_value = worst_case_fidelity(topology, rates, dp.replicated)
+        oracle_value = worst_case_fidelity(topology, rates, oracle.replicated)
+        assert dp_value == pytest.approx(oracle_value)
+
+    @pytest.mark.parametrize("budget", [3, 4, 5, 6])
+    def test_dp_never_below_greedy(self, chain_topology, chain_rates, budget):
+        dp = DynamicProgrammingPlanner().plan(chain_topology, chain_rates, budget)
+        greedy = GreedyPlanner().plan(chain_topology, chain_rates, budget)
+        assert worst_case_fidelity(chain_topology, chain_rates, dp.replicated) >= (
+            worst_case_fidelity(chain_topology, chain_rates, greedy.replicated)
+        )
+
+
+class TestMechanics:
+    def test_respects_budget(self, chain_topology, chain_rates):
+        for budget in range(0, 8):
+            plan = DynamicProgrammingPlanner().plan(chain_topology, chain_rates, budget)
+            assert plan.usage <= budget
+
+    def test_zero_budget_gives_empty_plan(self, chain_topology, chain_rates):
+        plan = DynamicProgrammingPlanner().plan(chain_topology, chain_rates, 0)
+        assert plan.usage == 0
+
+    def test_budget_below_tree_size_gives_empty_plan(self, chain_topology,
+                                                     chain_rates):
+        # Smallest MC-tree needs 4 tasks (one per operator).
+        plan = DynamicProgrammingPlanner().plan(chain_topology, chain_rates, 3)
+        assert plan.usage == 0
+
+    def test_plans_are_unions_of_mc_trees(self, chain_topology, chain_rates):
+        plan = DynamicProgrammingPlanner().plan(chain_topology, chain_rates, 6)
+        assert worst_case_fidelity(chain_topology, chain_rates, plan.replicated) > 0.0
+
+    def test_negative_budget_rejected(self, chain_topology, chain_rates):
+        with pytest.raises(PlanningError):
+            DynamicProgrammingPlanner().plan(chain_topology, chain_rates, -1)
+
+    def test_deterministic(self, chain_topology, chain_rates):
+        a = DynamicProgrammingPlanner().plan(chain_topology, chain_rates, 6)
+        b = DynamicProgrammingPlanner().plan(chain_topology, chain_rates, 6)
+        assert a.replicated == b.replicated
+
+    def test_theorem1_prefers_fewer_tasks_on_ties(self):
+        """Theorem 1: among equal-OF plans the DP uses minimal resources."""
+        topo = linear_chain([2, 2, 2], pattern=Partitioning.ONE_TO_ONE)
+        rates = propagate_rates(topo, uniform_source_rates(topo, 10.0))
+        plan = DynamicProgrammingPlanner().plan(topo, rates, 4)
+        # MC-trees are disjoint 3-task paths; a 4th task buys nothing, so the
+        # optimal plan keeps usage at 3.
+        assert plan.usage == 3
+
+    def test_overlapping_trees_share_replicated_tasks(self, merge_tree_topology,
+                                                      merge_tree_rates):
+        """In a merge tree, one extra task can complete a second MC-tree."""
+        planner = DynamicProgrammingPlanner()
+        four = planner.plan(merge_tree_topology, merge_tree_rates, 4)
+        five = planner.plan(merge_tree_topology, merge_tree_rates, 5)
+        v4 = worst_case_fidelity(merge_tree_topology, merge_tree_rates,
+                                 four.replicated)
+        v5 = worst_case_fidelity(merge_tree_topology, merge_tree_rates,
+                                 five.replicated)
+        assert v4 == pytest.approx(1 / 8)
+        assert v5 == pytest.approx(2 / 8)  # the second tree reuses A, B, C
+
+    def test_beam_restricts_search_but_stays_feasible(self, chain_topology,
+                                                      chain_rates):
+        plan = DynamicProgrammingPlanner(beam=2).plan(chain_topology, chain_rates, 8)
+        assert plan.usage <= 8
+
+    def test_value_increases_with_budget(self, merge_tree_topology,
+                                         merge_tree_rates):
+        planner = DynamicProgrammingPlanner()
+        values = []
+        for budget in (4, 8, 12):
+            plan = planner.plan(merge_tree_topology, merge_tree_rates, budget)
+            values.append(worst_case_fidelity(
+                merge_tree_topology, merge_tree_rates, plan.replicated
+            ))
+        assert values == sorted(values)
+        assert values[0] > 0.0

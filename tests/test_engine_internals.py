@@ -1,0 +1,181 @@
+"""Unit tests for engine internals: runtimes, checkpoints store, metrics."""
+
+import pytest
+
+from repro.engine import (
+    Batch,
+    Checkpoint,
+    CheckpointStore,
+    CostModel,
+    EngineConfig,
+    LogicFactory,
+    MetricsCollector,
+    RecoveryMode,
+    SinkRecord,
+    forged_batch,
+)
+from repro.engine.tasks import TaskRuntime, TaskStatus
+from repro.errors import SimulationError
+from repro.topology import TaskId
+
+T = TaskId("A", 0)
+UP = TaskId("S", 0)
+UP2 = TaskId("S", 1)
+
+
+def _runtime(upstreams=(UP, UP2), replicated=False):
+    return TaskRuntime(
+        T, is_source=False, is_sink=False,
+        expected_upstreams=tuple(upstreams), replicated=replicated,
+    )
+
+
+class TestTaskRuntime:
+    def test_inbox_requires_all_upstreams(self):
+        rt = _runtime()
+        assert not rt.inbox_ready(0)
+        rt.inbox_put(Batch(UP, T, 0, (("k", 1),)))
+        assert not rt.inbox_ready(0)
+        rt.inbox_put(Batch(UP2, T, 0, ()))
+        assert rt.inbox_ready(0)
+
+    def test_stale_batches_rejected(self):
+        rt = _runtime()
+        rt.next_batch = 5
+        assert not rt.inbox_put(Batch(UP, T, 4, ()))
+
+    def test_real_batch_replaces_forged(self):
+        rt = _runtime()
+        assert rt.inbox_put(forged_batch(UP, T, 0))
+        assert rt.inbox_put(Batch(UP, T, 0, (("k", 1),)))
+        assert not rt.inbox[0][UP].forged
+
+    def test_forged_never_overwrites_real(self):
+        rt = _runtime()
+        rt.inbox_put(Batch(UP, T, 0, (("k", 1),)))
+        assert not rt.inbox_put(forged_batch(UP, T, 0))
+
+    def test_duplicate_real_batch_rejected(self):
+        rt = _runtime()
+        assert rt.inbox_put(Batch(UP, T, 0, ()))
+        assert not rt.inbox_put(Batch(UP, T, 0, ()))
+
+    def test_caught_up_against_pre_failure_progress(self):
+        rt = _runtime()
+        rt.pre_failure_progress = {UP: 4, UP2: 4}
+        rt.progress = {UP: 3, UP2: 5}
+        assert not rt.caught_up()
+        rt.progress = {UP: 4, UP2: 5}
+        assert rt.caught_up()
+
+    def test_source_caught_up_by_emitted(self):
+        rt = TaskRuntime(UP, is_source=True, is_sink=False,
+                         expected_upstreams=(), replicated=False)
+        rt.pre_failure_emitted = 7
+        rt.emitted = 6
+        assert not rt.caught_up()
+        rt.emitted = 7
+        assert rt.caught_up()
+
+    def test_buffered_tuples_counts_range(self):
+        rt = _runtime()
+        rt.history[1] = {UP: Batch(T, UP, 1, (("k", 1), ("k", 2)))}
+        rt.history[2] = {UP: Batch(T, UP, 2, (("k", 3),))}
+        assert rt.buffered_tuples(0, 2) == 3
+        assert rt.buffered_tuples(1, 2) == 1
+        assert rt.buffered_tuples(2, 2) == 0
+
+
+class TestBatches:
+    def test_forged_batches_are_incomplete(self):
+        batch = forged_batch(UP, T, 3)
+        assert batch.forged and not batch.complete and batch.size == 0
+
+    def test_sink_record_tentative_flag(self):
+        record = SinkRecord(T, 0, (), complete=False, emitted_at=1.0)
+        assert record.tentative
+        assert not SinkRecord(T, 0, (), True, 1.0).tentative
+
+
+class TestCheckpointStore:
+    def test_latest_wins(self):
+        store = CheckpointStore()
+        store.put(Checkpoint(T, 5, None, {}, 0, 5.0))
+        store.put(Checkpoint(T, 9, None, {}, 0, 9.0))
+        assert store.latest(T).batch_index == 9
+
+    def test_stale_checkpoint_ignored(self):
+        store = CheckpointStore()
+        store.put(Checkpoint(T, 9, None, {}, 0, 9.0))
+        store.put(Checkpoint(T, 5, None, {}, 0, 5.0))
+        assert store.latest(T).batch_index == 9
+
+    def test_missing_task_returns_none(self):
+        assert CheckpointStore().latest(T) is None
+
+
+class TestMetricsCollector:
+    def test_cpu_entries_created_on_demand(self):
+        metrics = MetricsCollector()
+        metrics.cpu_of(T).process += 1.0
+        assert metrics.cpu_of(T).total == 1.0
+
+    def test_checkpoint_ratio(self):
+        metrics = MetricsCollector()
+        cpu = metrics.cpu_of(T)
+        cpu.process, cpu.checkpoint = 10.0, 2.0
+        assert cpu.checkpoint_ratio == pytest.approx(0.2)
+        assert metrics.checkpoint_cpu_ratio() == pytest.approx(0.2)
+
+    def test_recovery_filtering(self):
+        metrics = MetricsCollector()
+        r1 = metrics.record_recovery_start(T, RecoveryMode.ACTIVE, 1.0, 2.0)
+        r1.recovered_time = 3.0
+        r2 = metrics.record_recovery_start(UP, RecoveryMode.CHECKPOINT, 1.0, 2.0)
+        r2.recovered_time = 6.0
+        assert metrics.recovery_latencies() == [1.0, 4.0]
+        assert metrics.recovery_latencies(RecoveryMode.ACTIVE) == [1.0]
+        assert metrics.recovery_latencies(tasks=[UP]) == [4.0]
+        assert metrics.max_recovery_latency() == 4.0
+        assert metrics.mean_recovery_latency() == pytest.approx(2.5)
+
+    def test_incomplete_recovery_excluded(self):
+        metrics = MetricsCollector()
+        metrics.record_recovery_start(T, RecoveryMode.ACTIVE, 1.0, 2.0)
+        assert metrics.recovery_latencies() == []
+        assert metrics.max_recovery_latency() is None
+
+
+class TestConfigValidation:
+    def test_rejects_bad_batch_interval(self):
+        with pytest.raises(SimulationError):
+            EngineConfig(batch_interval=0.0)
+
+    def test_rejects_bad_checkpoint_interval(self):
+        with pytest.raises(SimulationError):
+            EngineConfig(checkpoint_interval=-1.0)
+
+    def test_checkpoint_batches_rounding(self):
+        assert EngineConfig(checkpoint_interval=2.5).checkpoint_batches == 2
+        assert EngineConfig(checkpoint_interval=None).checkpoint_batches is None
+
+    def test_cost_model_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            CostModel(per_tuple_process=-1.0)
+
+
+class TestLogicFactory:
+    def test_missing_operator_raises(self):
+        with pytest.raises(KeyError):
+            LogicFactory().logic_for(T)
+
+    def test_missing_source_raises(self):
+        with pytest.raises(KeyError):
+            LogicFactory().source_for(UP)
+
+    def test_registration_roundtrip(self):
+        from repro.queries import WindowedSelectivityOperator
+        factory = LogicFactory()
+        factory.register_operator("A", WindowedSelectivityOperator)
+        assert factory.has_operator("A")
+        assert isinstance(factory.logic_for(T), WindowedSelectivityOperator)

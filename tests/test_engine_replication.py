@@ -1,0 +1,94 @@
+"""Active replication: failover, takeover latency, output continuity."""
+
+import pytest
+
+from repro.engine import EngineConfig, RecoveryMode, TaskStatus
+from repro.topology import TaskId
+
+from tests.engine_helpers import build_engine, sink_outputs
+
+
+def _active_config(sync=4.0):
+    return EngineConfig(checkpoint_interval=None, heartbeat_interval=2.0,
+                        sync_interval=sync)
+
+
+class TestFailover:
+    def test_replicated_task_enters_failover_not_failed(self):
+        engine = build_engine(_active_config(), plan=[TaskId("L0", 1)])
+        engine.schedule_task_failure(6.0, [TaskId("L0", 1)])
+        engine.sim.at(6.5, lambda: None)
+        engine.run(7.0, settle=False)
+        assert engine.runtime(TaskId("L0", 1)).status in (
+            TaskStatus.FAILOVER, TaskStatus.RUNNING
+        )
+
+    def test_recovery_mode_is_active(self):
+        engine = build_engine(_active_config(), plan=[TaskId("L0", 1)])
+        engine.schedule_task_failure(6.0, [TaskId("L0", 1)])
+        engine.run(16.0)
+        record = engine.metrics.recoveries[0]
+        assert record.mode is RecoveryMode.ACTIVE
+        assert record.recovered_time is not None
+
+    def test_active_faster_than_checkpoint(self):
+        active = build_engine(_active_config(), plan=[TaskId("L0", 1)])
+        active.schedule_task_failure(6.0, [TaskId("L0", 1)])
+        active.run(20.0)
+        passive = build_engine(
+            EngineConfig(checkpoint_interval=8.0, heartbeat_interval=2.0)
+        )
+        passive.schedule_task_failure(6.0, [TaskId("L0", 1)])
+        passive.run(20.0)
+        assert (
+            active.metrics.max_recovery_latency()
+            < passive.metrics.max_recovery_latency()
+        )
+
+    def test_longer_sync_interval_slower_takeover(self):
+        fast = build_engine(_active_config(sync=1.0), plan=[TaskId("L0", 1)],
+                            rate=200.0)
+        fast.schedule_task_failure(9.0, [TaskId("L0", 1)])
+        fast.run(16.0)
+        slow = build_engine(_active_config(sync=8.0), plan=[TaskId("L0", 1)],
+                            rate=200.0)
+        slow.schedule_task_failure(9.0, [TaskId("L0", 1)])
+        slow.run(16.0)
+        assert (
+            slow.metrics.max_recovery_latency()
+            > fast.metrics.max_recovery_latency()
+        )
+
+    def test_no_output_loss_through_failover(self):
+        baseline = build_engine(_active_config())
+        baseline.run(18.0)
+        failed = build_engine(_active_config(), plan=[TaskId("L0", 1)])
+        failed.schedule_task_failure(6.0, [TaskId("L0", 1)])
+        failed.run(18.0)
+        assert sink_outputs(failed) == sink_outputs(baseline)
+
+    def test_correlated_failure_with_full_plan_recovers_fast(self):
+        victims = [TaskId("L0", 0), TaskId("L0", 1), TaskId("L1", 0)]
+        engine = build_engine(_active_config(), plan=victims)
+        engine.schedule_task_failure(6.0, victims)
+        engine.run(20.0)
+        assert engine.all_recovered()
+        assert all(
+            r.mode is RecoveryMode.ACTIVE for r in engine.metrics.recoveries
+        )
+        assert engine.metrics.max_recovery_latency() < 5.0
+
+    def test_replica_sync_positions_advance(self):
+        engine = build_engine(_active_config(sync=2.0), plan=[TaskId("L0", 0)])
+        engine.run(10.0)
+        assert engine.runtime(TaskId("L0", 0)).replica_synced >= 6
+
+    def test_mixed_plan_recovers_by_both_paths(self):
+        config = EngineConfig(checkpoint_interval=4.0, heartbeat_interval=2.0)
+        victims = [TaskId("L0", 0), TaskId("L0", 1)]
+        engine = build_engine(config, plan=[TaskId("L0", 0)])
+        engine.schedule_task_failure(8.0, victims)
+        engine.run(20.0)
+        modes = {r.task: r.mode for r in engine.metrics.recoveries}
+        assert modes[TaskId("L0", 0)] is RecoveryMode.ACTIVE
+        assert modes[TaskId("L0", 1)] is RecoveryMode.CHECKPOINT

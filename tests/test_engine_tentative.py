@@ -1,0 +1,92 @@
+"""Tentative outputs: forged punctuations, taint propagation, resumption."""
+
+import pytest
+
+from repro.engine import EngineConfig, TaskStatus
+from repro.topology import TaskId
+
+from tests.engine_helpers import build_engine, sink_outputs
+
+
+def _tentative_config(recovery=False):
+    return EngineConfig(
+        checkpoint_interval=4.0, heartbeat_interval=2.0,
+        tentative_outputs=True, recovery_enabled=recovery,
+    )
+
+
+class TestForging:
+    def test_sink_keeps_producing_after_upstream_death(self):
+        engine = build_engine(_tentative_config())
+        engine.schedule_task_failure(6.0, [TaskId("L0", 1)])
+        engine.run(16.0)
+        outs = sink_outputs(engine)
+        assert max(outs) >= 12  # batches continue past the failure
+
+    def test_outputs_after_failure_are_tentative(self):
+        engine = build_engine(_tentative_config())
+        engine.schedule_task_failure(6.0, [TaskId("L0", 1)])
+        engine.run(16.0)
+        tentative = engine.metrics.sink_outputs(tentative=True)
+        assert tentative
+        # The failure at t=6 hits batch 5 (stream interval [5, 6)) onwards.
+        assert all(r.index >= 5 for r in tentative)
+
+    def test_forged_batches_counted(self):
+        engine = build_engine(_tentative_config())
+        engine.schedule_task_failure(6.0, [TaskId("L0", 1)])
+        engine.run(16.0)
+        assert engine.metrics.batches_forged > 0
+
+    def test_without_tentative_mode_sink_stalls(self):
+        config = EngineConfig(checkpoint_interval=4.0, heartbeat_interval=2.0,
+                              tentative_outputs=False, recovery_enabled=False)
+        engine = build_engine(config)
+        engine.schedule_task_failure(6.0, [TaskId("L0", 1)])
+        engine.run(16.0)
+        outs = sink_outputs(engine)
+        assert max(outs) <= 7  # blocked waiting for the dead task's batches
+
+    def test_tentative_data_loses_dead_share(self):
+        baseline = build_engine(EngineConfig(checkpoint_interval=None))
+        baseline.run(16.0)
+        engine = build_engine(_tentative_config())
+        engine.schedule_task_failure(6.0, [TaskId("L0", 1)])
+        engine.run(16.0)
+        base_outs = sink_outputs(baseline)
+        tent_outs = sink_outputs(engine)
+        late = [i for i in range(10, 14)]
+        assert all(len(tent_outs[i]) < len(base_outs[i]) for i in late)
+
+
+class TestResumption:
+    def test_accurate_outputs_resume_after_recovery(self):
+        engine = build_engine(_tentative_config(recovery=True))
+        engine.schedule_task_failure(6.0, [TaskId("L0", 1)])
+        engine.run(25.0)
+        assert engine.all_recovered()
+        records = engine.metrics.sink_records
+        last_tentative = max((r.index for r in records if r.tentative), default=-1)
+        complete_after = [
+            r.index for r in records if r.complete and r.index > last_tentative
+        ]
+        assert complete_after  # complete outputs resume eventually
+
+    def test_forging_stops_after_recovery(self):
+        engine = build_engine(_tentative_config(recovery=True))
+        engine.schedule_task_failure(6.0, [TaskId("L0", 1)])
+        engine.run(25.0)
+        rt = engine.runtime(TaskId("L0", 1))
+        assert rt.status is TaskStatus.RUNNING
+
+    def test_correlated_failure_with_partial_plan_yields_tentative(self):
+        plan = [TaskId("S", 0), TaskId("L0", 0), TaskId("L1", 0)]
+        engine = build_engine(_tentative_config(), plan=plan)
+        victims = [t for t in engine.topology.tasks() if t not in plan]
+        engine.schedule_task_failure(6.0, victims)
+        engine.run(16.0)
+        tentative = engine.metrics.sink_outputs(tentative=True)
+        assert tentative
+        # Only the replicated source's data flows.
+        for record in tentative:
+            assert all(value[0] == 0 for _key, value in record.tuples)

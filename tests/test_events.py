@@ -1,0 +1,104 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.errors import SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(2.0, lambda: log.append("b"))
+        sim.at(1.0, lambda: log.append("a"))
+        sim.run_until(3.0)
+        assert log == ["a", "b"]
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append(1))
+        sim.at(1.0, lambda: log.append(2))
+        sim.run_until(1.0)
+        assert log == [1, 2]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append("late"), priority=1)
+        sim.at(1.0, lambda: log.append("early"), priority=-1)
+        sim.run_until(1.0)
+        assert log == ["early", "late"]
+
+    def test_after_is_relative_to_now(self):
+        sim = Simulator()
+        times = []
+        sim.at(5.0, lambda: sim.after(2.0, lambda: times.append(sim.now)))
+        sim.run_until(10.0)
+        assert times == [7.0]
+
+    def test_clock_advances_to_run_until_bound(self):
+        sim = Simulator()
+        sim.run_until(4.2)
+        assert sim.now == 4.2
+
+    def test_events_beyond_bound_stay_queued(self):
+        sim = Simulator()
+        log = []
+        sim.at(5.0, lambda: log.append("x"))
+        sim.run_until(4.0)
+        assert log == []
+        sim.run_until(5.0)
+        assert log == ["x"]
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator()
+        sim.run_until(2.0)
+        with pytest.raises(SimulationError):
+            sim.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().after(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        log = []
+        handle = sim.at(1.0, lambda: log.append("x"))
+        handle.cancel()
+        sim.run_until(2.0)
+        assert log == []
+
+    def test_handle_reports_time(self):
+        sim = Simulator()
+        assert sim.at(3.5, lambda: None).time == 3.5
+
+
+class TestDrain:
+    def test_drain_runs_everything(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: sim.after(1.0, lambda: log.append("chained")))
+        sim.drain()
+        assert log == ["chained"]
+        assert sim.now == 2.0
+
+    def test_drain_detects_runaway_chains(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.after(0.1, reschedule)
+
+        sim.after(0.1, reschedule)
+        with pytest.raises(SimulationError):
+            sim.drain(max_events=100)
+
+    def test_processed_event_count(self):
+        sim = Simulator()
+        for t in (1.0, 2.0):
+            sim.at(t, lambda: None)
+        sim.run_until(5.0)
+        assert sim.processed_events == 2

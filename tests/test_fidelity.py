@@ -1,0 +1,110 @@
+"""Tests for Output Fidelity (Eq. 4) and the worst-case plan evaluation."""
+
+import pytest
+
+from repro.core import (
+    output_fidelity,
+    single_failure_fidelity,
+    worst_case_fidelity,
+)
+from repro.errors import PlanningError
+from repro.topology import (
+    Partitioning,
+    SourceRates,
+    TaskId,
+    TopologyBuilder,
+    propagate_rates,
+)
+
+
+class TestOutputFidelity:
+    def test_no_failure_is_perfect(self, chain_topology, chain_rates):
+        assert output_fidelity(chain_topology, chain_rates, frozenset()) == 1.0
+
+    def test_sink_failure_is_zero(self, chain_topology, chain_rates):
+        assert output_fidelity(chain_topology, chain_rates, {TaskId("C", 0)}) == 0.0
+
+    def test_one_source_of_four_costs_a_quarter(self, chain_topology, chain_rates):
+        of = output_fidelity(chain_topology, chain_rates, {TaskId("S", 0)})
+        assert of == pytest.approx(0.75)
+
+    def test_fig2_correlated(self, fig2_topology, fig2_rates):
+        of = output_fidelity(fig2_topology, fig2_rates, {TaskId("O2", 1)})
+        assert of == pytest.approx(1.0 - 2.0 / 5.0)
+
+    def test_fig2_independent(self, fig2_independent, fig2_independent_rates):
+        of = output_fidelity(fig2_independent, fig2_independent_rates,
+                             {TaskId("O2", 1)})
+        assert of == pytest.approx(0.75)
+
+    def test_sink_rates_weigh_multiple_sinks(self):
+        # Two sinks; the heavy one failing costs more fidelity.
+        topo = (
+            TopologyBuilder()
+            .source("S", 2)
+            .operator("A", 1)
+            .operator("B", 1)
+            .connect("S", "A", Partitioning.FULL)
+            .connect("S", "B", Partitioning.FULL)
+            .build()
+        )
+        rates = propagate_rates(topo, SourceRates(per_operator={"S": 100.0}))
+        heavy = output_fidelity(topo, rates, {TaskId("A", 0)})
+        assert heavy == pytest.approx(0.5)
+
+    def test_custom_sink_tasks(self, chain_topology, chain_rates):
+        of = output_fidelity(chain_topology, chain_rates, {TaskId("B", 0)},
+                             sink_tasks=[TaskId("B", 0), TaskId("B", 1)])
+        assert of == pytest.approx(0.5)
+
+    def test_empty_sink_list_raises(self, chain_topology, chain_rates):
+        with pytest.raises(PlanningError):
+            output_fidelity(chain_topology, chain_rates, frozenset(), sink_tasks=[])
+
+
+class TestWorstCaseFidelity:
+    def test_full_plan_is_perfect(self, chain_topology, chain_rates):
+        assert worst_case_fidelity(
+            chain_topology, chain_rates, chain_topology.tasks()
+        ) == 1.0
+
+    def test_empty_plan_is_zero(self, chain_topology, chain_rates):
+        assert worst_case_fidelity(chain_topology, chain_rates, ()) == 0.0
+
+    def test_complete_tree_gives_positive_fidelity(self, chain_topology, chain_rates):
+        tree = {TaskId("S", 0), TaskId("A", 0), TaskId("B", 0), TaskId("C", 0)}
+        assert worst_case_fidelity(chain_topology, chain_rates, tree) > 0.0
+
+    def test_incomplete_tree_gives_zero(self, chain_topology, chain_rates):
+        # No source replicated: nothing can flow.
+        partial = {TaskId("A", 0), TaskId("B", 0), TaskId("C", 0)}
+        assert worst_case_fidelity(chain_topology, chain_rates, partial) == 0.0
+
+    def test_monotone_in_plan(self, chain_topology, chain_rates):
+        plan = {TaskId("S", 0), TaskId("A", 0), TaskId("B", 0), TaskId("C", 0)}
+        base = worst_case_fidelity(chain_topology, chain_rates, plan)
+        bigger = worst_case_fidelity(
+            chain_topology, chain_rates, plan | {TaskId("S", 1)}
+        )
+        assert bigger >= base
+
+    def test_join_plan_needs_both_branches(self, join_topology, join_rates):
+        one_branch = {TaskId("Sa", 0), TaskId("A", 0), TaskId("J", 0), TaskId("K", 0)}
+        assert worst_case_fidelity(join_topology, join_rates, one_branch) == 0.0
+        both = one_branch | {TaskId("Sb", 0), TaskId("B", 0)}
+        assert worst_case_fidelity(join_topology, join_rates, both) > 0.0
+
+
+class TestSingleFailureFidelity:
+    def test_matches_direct_evaluation(self, chain_topology, chain_rates):
+        task = TaskId("B", 0)
+        assert single_failure_fidelity(chain_topology, chain_rates, task) == (
+            output_fidelity(chain_topology, chain_rates, {task})
+        )
+
+    def test_sink_is_most_critical(self, chain_topology, chain_rates):
+        values = {
+            t: single_failure_fidelity(chain_topology, chain_rates, t)
+            for t in chain_topology.tasks()
+        }
+        assert min(values, key=values.get) == TaskId("C", 0)

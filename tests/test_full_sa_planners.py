@@ -1,0 +1,162 @@
+"""Tests for Algorithm 4 (full-topology) and Algorithm 5 (structure-aware)."""
+
+import pytest
+
+from repro.core import (
+    FullTopologyPlanner,
+    GreedyPlanner,
+    PlanningContext,
+    StructureAwarePlanner,
+    worst_case_fidelity,
+)
+from repro.topology import (
+    Partitioning,
+    SourceRates,
+    TaskId,
+    TopologyBuilder,
+    TopologySpec,
+    generate_source_rates,
+    generate_topology,
+    linear_chain,
+    propagate_rates,
+    uniform_source_rates,
+)
+
+
+class TestFullTopologyPlanner:
+    def test_base_plan_one_task_per_operator(self, chain_topology, chain_rates):
+        ctx = PlanningContext(chain_topology, chain_rates)
+        base = FullTopologyPlanner().base_plan(ctx)
+        assert base is not None
+        assert len(base) == 4
+        assert {t.operator for t in base} == {"S", "A", "B", "C"}
+
+    def test_base_plan_yields_positive_fidelity(self, chain_topology, chain_rates):
+        base = FullTopologyPlanner().base_plan(
+            PlanningContext(chain_topology, chain_rates)
+        )
+        assert worst_case_fidelity(chain_topology, chain_rates, base) > 0.0
+
+    def test_base_picks_heaviest_tasks(self):
+        topo = (
+            TopologyBuilder()
+            .source("S", 2, task_weights=(1.0, 1.0))
+            .operator("A", 3, task_weights=(1.0, 5.0, 1.0))
+            .operator("B", 1)
+            .chain("S", "A", "B", pattern=Partitioning.FULL)
+            .build()
+        )
+        rates = propagate_rates(topo, uniform_source_rates(topo, 10.0))
+        base = FullTopologyPlanner().base_plan(PlanningContext(topo, rates))
+        assert TaskId("A", 1) in base  # the 5x key-share task
+
+    def test_extend_adds_single_best_task(self, chain_topology, chain_rates):
+        planner = FullTopologyPlanner()
+        ctx = PlanningContext(chain_topology, chain_rates)
+        base = planner.base_plan(ctx)
+        ext = planner.extend(ctx, base, 3)
+        assert ext is not None and len(ext) == 1
+        assert not ext & base
+
+    def test_extend_zero_budget_returns_none(self, chain_topology, chain_rates):
+        planner = FullTopologyPlanner()
+        ctx = PlanningContext(chain_topology, chain_rates)
+        assert planner.extend(ctx, frozenset(), 0) is None
+
+    def test_plan_budget_below_operator_count_is_empty(self, chain_topology,
+                                                       chain_rates):
+        plan = FullTopologyPlanner().plan(chain_topology, chain_rates, 3)
+        assert plan.usage == 0
+
+    def test_plan_monotone_in_budget(self, chain_topology, chain_rates):
+        planner = FullTopologyPlanner()
+        values = [
+            worst_case_fidelity(
+                chain_topology, chain_rates,
+                planner.plan(chain_topology, chain_rates, b).replicated,
+            )
+            for b in (4, 6, 8, 11)
+        ]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+
+class TestStructureAwarePlanner:
+    def test_delegates_to_full_on_full_chain(self, chain_topology, chain_rates):
+        sa = StructureAwarePlanner().plan(chain_topology, chain_rates, 6)
+        full = FullTopologyPlanner().plan(chain_topology, chain_rates, 6)
+        sa_value = worst_case_fidelity(chain_topology, chain_rates, sa.replicated)
+        full_value = worst_case_fidelity(chain_topology, chain_rates, full.replicated)
+        assert sa_value == pytest.approx(full_value)
+
+    def test_handles_mixed_topology(self):
+        topo = (
+            TopologyBuilder()
+            .source("S", 4)
+            .operator("A", 4)
+            .operator("B", 2)
+            .operator("C", 2)
+            .operator("D", 1)
+            .connect("S", "A", Partitioning.ONE_TO_ONE)
+            .connect("A", "B", Partitioning.MERGE)
+            .connect("B", "C", Partitioning.FULL)
+            .connect("C", "D", Partitioning.FULL)
+            .build()
+        )
+        rates = propagate_rates(topo, uniform_source_rates(topo, 10.0))
+        plan = StructureAwarePlanner().plan(topo, rates, 8)
+        assert plan.usage <= 8
+        assert worst_case_fidelity(topo, rates, plan.replicated) > 0.0
+
+    def test_empty_when_budget_below_bases(self, join_topology, join_rates):
+        plan = StructureAwarePlanner().plan(join_topology, join_rates, 2)
+        assert plan.usage == 0
+
+    def test_trajectory_is_monotone(self, join_topology, join_rates):
+        trajectory = StructureAwarePlanner().plan_trajectory(
+            join_topology, join_rates, join_topology.num_tasks
+        )
+        usages = [p.usage for p in trajectory]
+        assert usages == sorted(usages)
+        values = [
+            worst_case_fidelity(join_topology, join_rates, p.replicated)
+            for p in trajectory
+        ]
+        assert values == sorted(values)
+
+    def test_beats_greedy_on_random_topologies_in_aggregate(self):
+        """The Fig. 14 headline: SA > Greedy on average at small budgets.
+
+        Per-instance SA may lose a little (Algorithm 5 only spends budget on
+        complete MC-trees, so leftover units can go unused), but the mean
+        over topologies must favour SA clearly.
+        """
+        spec = TopologySpec(n_operators=(4, 6), parallelism=(2, 4))
+        sa_values, greedy_values = [], []
+        for seed in range(12):
+            topo = generate_topology(spec, seed)
+            rates = propagate_rates(topo, generate_source_rates(topo, seed))
+            budget = max(1, topo.num_tasks // 4)
+            sa = StructureAwarePlanner().plan(topo, rates, budget)
+            greedy = GreedyPlanner().plan(topo, rates, budget)
+            sa_values.append(worst_case_fidelity(topo, rates, sa.replicated))
+            greedy_values.append(worst_case_fidelity(topo, rates, greedy.replicated))
+        sa_mean = sum(sa_values) / len(sa_values)
+        greedy_mean = sum(greedy_values) / len(greedy_values)
+        assert sa_mean > greedy_mean
+        wins = sum(s > g + 1e-9 for s, g in zip(sa_values, greedy_values))
+        losses = sum(s < g - 1e-9 for s, g in zip(sa_values, greedy_values))
+        assert wins > losses
+
+    def test_deterministic(self, join_topology, join_rates):
+        a = StructureAwarePlanner().plan(join_topology, join_rates, 8)
+        b = StructureAwarePlanner().plan(join_topology, join_rates, 8)
+        assert a.replicated == b.replicated
+
+    def test_full_budget_reaches_full_fidelity(self, join_topology, join_rates):
+        plan = StructureAwarePlanner().plan(
+            join_topology, join_rates, join_topology.num_tasks
+        )
+        assert worst_case_fidelity(
+            join_topology, join_rates, plan.replicated
+        ) == pytest.approx(1.0)

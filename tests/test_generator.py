@@ -1,0 +1,114 @@
+"""Tests for the random topology generator (Sec. VI-C)."""
+
+import pytest
+
+from repro.topology import (
+    OperatorKind,
+    Partitioning,
+    TopologyClass,
+    TopologySpec,
+    WeightSkew,
+    generate_source_rates,
+    generate_topology,
+    propagate_rates,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        assert sum(zipf_weights(10, 0.5)) == pytest.approx(1.0)
+
+    def test_skewed_head(self):
+        weights = zipf_weights(10, 1.0)
+        assert weights[0] > weights[-1]
+
+    def test_rejects_empty(self):
+        from repro.errors import TopologyError
+        with pytest.raises(TopologyError):
+            zipf_weights(0, 0.5)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        spec = TopologySpec()
+        a = generate_topology(spec, 42)
+        b = generate_topology(spec, 42)
+        assert a.operator_names == b.operator_names
+        assert [e.pattern for e in a.edges()] == [e.pattern for e in b.edges()]
+
+    def test_different_seeds_differ(self):
+        spec = TopologySpec()
+        a = generate_topology(spec, 1)
+        b = generate_topology(spec, 2)
+        assert (
+            a.operator_names != b.operator_names
+            or [e.pattern for e in a.edges()] != [e.pattern for e in b.edges()]
+        )
+
+    def test_operator_count_within_spec(self):
+        spec = TopologySpec(n_operators=(3, 5), n_sources=(1, 1))
+        for seed in range(10):
+            topo = generate_topology(spec, seed)
+            non_sources = [o for o in topo.operators() if not o.is_source]
+            assert 3 <= len(non_sources) <= 5
+
+    def test_parallelism_within_spec(self):
+        spec = TopologySpec(parallelism=(2, 4))
+        for seed in range(5):
+            topo = generate_topology(spec, seed)
+            assert all(2 <= o.parallelism <= 4 for o in topo.operators())
+
+    def test_full_class_uses_only_full_edges(self):
+        spec = TopologySpec(topology_class=TopologyClass.FULL)
+        for seed in range(5):
+            topo = generate_topology(spec, seed)
+            assert all(e.pattern is Partitioning.FULL for e in topo.edges())
+
+    def test_structured_class_avoids_full_edges(self):
+        spec = TopologySpec(topology_class=TopologyClass.STRUCTURED)
+        for seed in range(5):
+            topo = generate_topology(spec, seed)
+            assert all(e.pattern is not Partitioning.FULL for e in topo.edges())
+
+    def test_join_fraction_produces_correlated_operators(self):
+        spec = TopologySpec(join_fraction=0.5, n_operators=(6, 8))
+        found = 0
+        for seed in range(5):
+            topo = generate_topology(spec, seed)
+            found += sum(1 for o in topo.operators() if o.is_correlated)
+        assert found > 0
+
+    def test_join_operators_have_at_least_two_upstreams(self):
+        # Joins are created with exactly two upstream operators, but a join
+        # that ends up as the final sink may absorb extra dangling branches.
+        spec = TopologySpec(join_fraction=0.5, n_operators=(6, 8))
+        for seed in range(5):
+            topo = generate_topology(spec, seed)
+            for op in topo.operators():
+                if op.is_correlated:
+                    assert len(topo.upstream_of(op.name)) >= 2
+
+    def test_zipf_skew_produces_uneven_weights(self):
+        spec = TopologySpec(weight_skew=WeightSkew.ZIPF, zipf_s=0.8,
+                            parallelism=(4, 6))
+        topo = generate_topology(spec, 3)
+        skewed = any(
+            max(o.task_weights) > 1.5 * min(o.task_weights)
+            for o in topo.operators()
+            if o.parallelism >= 4
+        )
+        assert skewed
+
+    def test_generated_topologies_are_valid_for_rates(self):
+        spec = TopologySpec(join_fraction=0.3)
+        for seed in range(8):
+            topo = generate_topology(spec, seed)
+            rates = propagate_rates(topo, generate_source_rates(topo, seed))
+            assert all(v >= 0.0 for v in rates.task_output.values())
+
+    def test_source_rates_cover_all_sources(self):
+        topo = generate_topology(TopologySpec(), 5)
+        sources = generate_source_rates(topo, 5)
+        for spec_ in topo.sources():
+            assert spec_.name in sources.per_operator

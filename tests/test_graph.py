@@ -1,0 +1,163 @@
+"""Unit tests for the topology DAG."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    OperatorKind,
+    OperatorSpec,
+    Partitioning,
+    StreamEdge,
+    TaskId,
+    Topology,
+    TopologyBuilder,
+    linear_chain,
+)
+
+
+def _spec(name, parallelism, kind=OperatorKind.INDEPENDENT):
+    return OperatorSpec(name, parallelism, kind)
+
+
+class TestValidation:
+    def test_rejects_duplicate_operator_names(self):
+        with pytest.raises(TopologyError, match="duplicate operator"):
+            Topology([_spec("A", 1, OperatorKind.SOURCE), _spec("A", 2)], [])
+
+    def test_rejects_unknown_edge_endpoint(self):
+        with pytest.raises(TopologyError, match="unknown operator"):
+            Topology([_spec("A", 1, OperatorKind.SOURCE)],
+                     [StreamEdge("A", "B", Partitioning.FULL)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError, match="itself"):
+            StreamEdge("A", "A", Partitioning.FULL)
+
+    def test_rejects_duplicate_edges(self):
+        specs = [_spec("A", 1, OperatorKind.SOURCE), _spec("B", 1)]
+        edges = [StreamEdge("A", "B", Partitioning.FULL)] * 2
+        with pytest.raises(TopologyError, match="duplicate edge"):
+            Topology(specs, edges)
+
+    def test_rejects_cycles(self):
+        specs = [_spec("S", 1, OperatorKind.SOURCE), _spec("A", 1), _spec("B", 1)]
+        edges = [
+            StreamEdge("S", "A", Partitioning.FULL),
+            StreamEdge("A", "B", Partitioning.FULL),
+            StreamEdge("B", "A", Partitioning.FULL),
+        ]
+        with pytest.raises(TopologyError, match="cycle"):
+            Topology(specs, edges)
+
+    def test_rejects_source_with_upstream(self):
+        specs = [_spec("S", 1, OperatorKind.SOURCE), _spec("T", 1, OperatorKind.SOURCE)]
+        with pytest.raises(TopologyError, match="source operator"):
+            Topology(specs, [StreamEdge("S", "T", Partitioning.FULL)])
+
+    def test_rejects_non_source_without_upstream(self):
+        with pytest.raises(TopologyError, match="no upstream"):
+            Topology([_spec("A", 1)], [])
+
+    def test_rejects_unreachable_operator(self):
+        # B -> C exists but B is itself a source-less island.
+        specs = [_spec("S", 1, OperatorKind.SOURCE), _spec("C", 1)]
+        with pytest.raises(TopologyError):
+            Topology(specs, [])
+
+    def test_rejects_empty_topology(self):
+        with pytest.raises(TopologyError):
+            Topology([], [])
+
+
+class TestAccessors:
+    def test_topological_order_sources_first(self, chain_topology):
+        order = chain_topology.topological_order()
+        assert order[0] == "S"
+        assert order.index("A") < order.index("B") < order.index("C")
+
+    def test_tasks_count(self, chain_topology):
+        assert chain_topology.num_tasks == 4 + 4 + 2 + 1
+
+    def test_sources_and_sinks(self, chain_topology):
+        assert [s.name for s in chain_topology.sources()] == ["S"]
+        assert [s.name for s in chain_topology.sinks()] == ["C"]
+
+    def test_sink_tasks(self, chain_topology):
+        assert chain_topology.sink_tasks() == (TaskId("C", 0),)
+
+    def test_upstream_and_downstream_of(self, chain_topology):
+        assert chain_topology.upstream_of("B") == ("A",)
+        assert chain_topology.downstream_of("A") == ("B",)
+        assert chain_topology.upstream_of("S") == ()
+
+    def test_unknown_operator_raises(self, chain_topology):
+        with pytest.raises(TopologyError):
+            chain_topology.operator("nope")
+
+    def test_edge_lookup(self, chain_topology):
+        assert chain_topology.edge("S", "A").pattern is Partitioning.FULL
+        assert chain_topology.has_edge("A", "B")
+        assert not chain_topology.has_edge("B", "A")
+        with pytest.raises(TopologyError):
+            chain_topology.edge("B", "A")
+
+
+class TestTaskAdjacency:
+    def test_input_streams_grouped_per_upstream_operator(self, join_topology):
+        streams = join_topology.input_streams(TaskId("J", 0))
+        assert [s.upstream_operator for s in streams] == ["A", "B"]
+        assert len(streams[0].substreams) == 2  # full from A(2)
+
+    def test_output_substreams_full(self, chain_topology):
+        outs = chain_topology.output_substreams(TaskId("A", 0))
+        assert [dst for dst, _w in outs] == [TaskId("B", 0), TaskId("B", 1)]
+
+    def test_substream_weight_disconnected_is_zero(self, chain_topology):
+        assert chain_topology.substream_weight(TaskId("S", 0), TaskId("C", 0)) == 0.0
+
+    def test_substream_weights_out_of_task_sum_to_one(self, chain_topology):
+        for task in chain_topology.tasks():
+            outs = chain_topology.output_substreams(task)
+            if outs:
+                assert sum(w for _d, w in outs) == pytest.approx(1.0)
+
+    def test_upstream_tasks_of_sink(self, chain_topology):
+        ups = chain_topology.upstream_tasks(TaskId("C", 0))
+        assert set(ups) == {TaskId("B", 0), TaskId("B", 1)}
+
+    def test_input_streams_of_unknown_task_raises(self, chain_topology):
+        with pytest.raises(TopologyError):
+            chain_topology.input_streams(TaskId("Z", 0))
+
+
+class TestLinearChain:
+    def test_builds_expected_shape(self):
+        topo = linear_chain([2, 4, 1])
+        assert topo.operator_names == ("S", "O1", "O2")
+        assert topo.num_tasks == 7
+
+    def test_requires_two_levels(self):
+        with pytest.raises(TopologyError):
+            linear_chain([3])
+
+
+class TestBuilder:
+    def test_duplicate_declaration_rejected(self):
+        builder = TopologyBuilder().source("S", 1)
+        with pytest.raises(TopologyError):
+            builder.source("S", 2)
+
+    def test_connect_requires_declared_operators(self):
+        builder = TopologyBuilder().source("S", 1)
+        with pytest.raises(TopologyError):
+            builder.connect("S", "X")
+
+    def test_chain_requires_two_names(self):
+        builder = TopologyBuilder().source("S", 1)
+        with pytest.raises(TopologyError):
+            builder.chain("S")
+
+    def test_describe_mentions_all_operators(self, join_topology):
+        text = join_topology.describe()
+        for name in join_topology.operator_names:
+            assert name in text

@@ -1,0 +1,63 @@
+"""Tests for Algorithm 2 (the structure-agnostic greedy planner)."""
+
+import pytest
+
+from repro.core import GreedyPlanner, IC_OBJECTIVE, worst_case_fidelity
+from repro.topology import TaskId
+
+
+class TestRanking:
+    def test_most_critical_task_first(self, chain_topology, chain_rates):
+        ranked = GreedyPlanner().rank_tasks(chain_topology, chain_rates)
+        # C[0] is the single sink: its failure zeroes the output.
+        assert ranked[0][1] == TaskId("C", 0)
+        assert ranked[0][0] == 0.0
+
+    def test_ranking_is_ascending_in_damage_value(self, chain_topology, chain_rates):
+        values = [v for v, _t in GreedyPlanner().rank_tasks(chain_topology, chain_rates)]
+        assert values == sorted(values)
+
+    def test_ranking_covers_all_tasks(self, chain_topology, chain_rates):
+        ranked = GreedyPlanner().rank_tasks(chain_topology, chain_rates)
+        assert len(ranked) == chain_topology.num_tasks
+
+
+class TestPlan:
+    def test_respects_budget(self, chain_topology, chain_rates):
+        plan = GreedyPlanner().plan(chain_topology, chain_rates, 5)
+        assert plan.usage == 5
+
+    def test_budget_larger_than_topology_is_clamped(self, chain_topology,
+                                                    chain_rates):
+        plan = GreedyPlanner().plan(chain_topology, chain_rates, 99)
+        assert plan.usage == chain_topology.num_tasks
+
+    def test_greedy_ignores_tree_structure(self, chain_topology, chain_rates):
+        """The paper's criticism: small greedy plans form no complete MC-tree."""
+        plan = GreedyPlanner().plan(chain_topology, chain_rates, 4)
+        assert worst_case_fidelity(chain_topology, chain_rates, plan.replicated) == 0.0
+
+    def test_full_budget_reaches_perfect_fidelity(self, chain_topology, chain_rates):
+        plan = GreedyPlanner().plan(chain_topology, chain_rates,
+                                    chain_topology.num_tasks)
+        assert worst_case_fidelity(
+            chain_topology, chain_rates, plan.replicated
+        ) == 1.0
+
+    def test_deterministic(self, chain_topology, chain_rates):
+        a = GreedyPlanner().plan(chain_topology, chain_rates, 6)
+        b = GreedyPlanner().plan(chain_topology, chain_rates, 6)
+        assert a.replicated == b.replicated
+
+    def test_ic_objective_changes_ranking(self, join_topology, join_rates):
+        of_plan = GreedyPlanner().plan(join_topology, join_rates, 4)
+        ic_plan = GreedyPlanner(IC_OBJECTIVE).plan(join_topology, join_rates, 4)
+        assert of_plan.usage == ic_plan.usage == 4
+
+
+class TestTrajectory:
+    def test_prefixes_of_ranking(self, chain_topology, chain_rates):
+        trajectory = GreedyPlanner().plan_trajectory(chain_topology, chain_rates, 5)
+        assert [p.usage for p in trajectory] == list(range(6))
+        for smaller, larger in zip(trajectory, trajectory[1:]):
+            assert smaller.replicated < larger.replicated

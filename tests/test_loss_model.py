@@ -1,0 +1,92 @@
+"""Tests for the operator output-loss model (Eq. 1–3), anchored to Fig. 2.
+
+The paper's worked example: task t22 fails; with rates λ(t11)=2, λ(t12)=1,
+λ(t21)=3, λ(t22)=2, the output loss of t31 is 2/5 when O3 is a
+correlated-input operator and 1/4 when it is independent-input.
+"""
+
+import pytest
+
+from repro.core import propagate_information_loss
+from repro.topology import TaskId
+
+
+T22 = TaskId("O2", 1)
+T31 = TaskId("O3", 0)
+
+
+class TestFig2Example:
+    def test_correlated_loss_matches_paper(self, fig2_topology, fig2_rates):
+        loss = propagate_information_loss(fig2_topology, fig2_rates, {T22})
+        assert loss[T31] == pytest.approx(2.0 / 5.0)
+
+    def test_independent_loss_matches_paper(self, fig2_independent,
+                                            fig2_independent_rates):
+        loss = propagate_information_loss(
+            fig2_independent, fig2_independent_rates, {T22}
+        )
+        assert loss[T31] == pytest.approx(1.0 / 4.0)
+
+    def test_ignore_correlation_flag_reduces_join_to_union(self, fig2_topology,
+                                                           fig2_rates):
+        loss = propagate_information_loss(
+            fig2_topology, fig2_rates, {T22}, ignore_correlation=True
+        )
+        assert loss[T31] == pytest.approx(1.0 / 4.0)
+
+    def test_failed_task_has_total_loss(self, fig2_topology, fig2_rates):
+        loss = propagate_information_loss(fig2_topology, fig2_rates, {T22})
+        assert loss[T22] == 1.0
+
+    def test_no_failure_means_no_loss(self, fig2_topology, fig2_rates):
+        loss = propagate_information_loss(fig2_topology, fig2_rates, frozenset())
+        assert all(v == 0.0 for v in loss.values())
+
+
+class TestPropagationMechanics:
+    def test_loss_propagates_through_chain(self, chain_topology, chain_rates):
+        loss = propagate_information_loss(
+            chain_topology, chain_rates, {TaskId("S", 0)}
+        )
+        # One of four equal sources lost; every downstream level sees 1/4.
+        assert loss[TaskId("A", 0)] == pytest.approx(0.25)
+        assert loss[TaskId("C", 0)] == pytest.approx(0.25)
+
+    def test_failed_intermediate_blocks_its_share(self, chain_topology, chain_rates):
+        loss = propagate_information_loss(
+            chain_topology, chain_rates, {TaskId("A", 1)}
+        )
+        # A[1] handles 1/4 of the stream (uniform weights).
+        assert loss[TaskId("B", 0)] == pytest.approx(0.25)
+        assert loss[TaskId("C", 0)] == pytest.approx(0.25)
+
+    def test_all_sources_failed_gives_total_loss(self, chain_topology, chain_rates):
+        failed = set(chain_topology.tasks_of("S"))
+        loss = propagate_information_loss(chain_topology, chain_rates, failed)
+        assert loss[TaskId("C", 0)] == pytest.approx(1.0)
+
+    def test_join_losing_one_stream_loses_everything(self, join_topology, join_rates):
+        failed = {TaskId("Sb", 0), TaskId("Sb", 1)}
+        loss = propagate_information_loss(join_topology, join_rates, failed)
+        assert loss[TaskId("J", 0)] == pytest.approx(1.0)
+        assert loss[TaskId("K", 0)] == pytest.approx(1.0)
+
+    def test_union_losing_one_stream_loses_its_share(self, join_topology, join_rates):
+        # Same failure, correlation ignored: J still gets the A-side stream.
+        failed = {TaskId("Sb", 0), TaskId("Sb", 1)}
+        loss = propagate_information_loss(
+            join_topology, join_rates, failed, ignore_correlation=True
+        )
+        assert 0.0 < loss[TaskId("J", 0)] < 1.0
+
+    def test_losses_clamped_to_unit_interval(self, join_topology, join_rates):
+        failed = set(join_topology.tasks()) - {TaskId("K", 0)}
+        loss = propagate_information_loss(join_topology, join_rates, failed)
+        assert all(0.0 <= v <= 1.0 for v in loss.values())
+
+    def test_alive_task_with_all_inputs_lost_emits_nothing(self, chain_topology,
+                                                           chain_rates):
+        failed = set(chain_topology.tasks_of("A"))
+        loss = propagate_information_loss(chain_topology, chain_rates, failed)
+        # B tasks are alive but every input substream is lost.
+        assert loss[TaskId("B", 0)] == pytest.approx(1.0)

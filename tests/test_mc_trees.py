@@ -1,0 +1,123 @@
+"""Tests for MC-tree enumeration (Definition 1)."""
+
+import pytest
+
+from repro.core import count_mc_tree_derivations, enumerate_mc_trees
+from repro.core.mc_trees import minimum_tree_size, tree_is_replicated
+from repro.errors import MCTreeExplosionError, TopologyError
+from repro.topology import (
+    Partitioning,
+    TaskId,
+    TopologyBuilder,
+    linear_chain,
+)
+
+
+class TestChainEnumeration:
+    def test_full_chain_count_is_product_of_parallelism(self):
+        """Sec. IV-C: a full topology of k operators has Π M_i MC-trees."""
+        topo = linear_chain([2, 3, 2])
+        trees = enumerate_mc_trees(topo)
+        assert len(trees) == 2 * 3 * 2
+
+    def test_tree_has_one_task_per_operator_in_full_chain(self):
+        topo = linear_chain([2, 2, 2])
+        for tree in enumerate_mc_trees(topo):
+            assert len(tree) == 3
+            assert {t.operator for t in tree} == {"S", "O1", "O2"}
+
+    def test_one_to_one_chain_has_parallelism_trees(self):
+        topo = linear_chain([3, 3, 3], pattern=Partitioning.ONE_TO_ONE)
+        trees = enumerate_mc_trees(topo)
+        assert len(trees) == 3
+        assert frozenset({TaskId("S", 1), TaskId("O1", 1), TaskId("O2", 1)}) in trees
+
+    def test_merge_tree_count_equals_source_count(self, merge_tree_topology):
+        # Each source defines exactly one path to the single sink.
+        trees = enumerate_mc_trees(merge_tree_topology)
+        assert len(trees) == 8
+
+
+class TestJoinEnumeration:
+    def test_join_combines_one_tree_per_input_stream(self, join_topology):
+        trees = enumerate_mc_trees(join_topology)
+        # Per J task: 2 A-paths x 2 B-paths; 2 J tasks; single sink task K.
+        assert len(trees) == 8
+        for tree in trees:
+            operators = {t.operator for t in tree}
+            assert {"Sa", "A", "Sb", "B", "J", "K"} == operators
+
+    def test_independent_variant_uses_single_branch(self):
+        topo = (
+            TopologyBuilder()
+            .source("Sa", 2)
+            .source("Sb", 2)
+            .operator("U", 1)
+            .connect("Sa", "U", Partitioning.FULL)
+            .connect("Sb", "U", Partitioning.FULL)
+            .build()
+        )
+        trees = enumerate_mc_trees(topo)
+        assert len(trees) == 4
+        assert all(len(tree) == 2 for tree in trees)
+
+
+class TestRestriction:
+    def test_within_restricts_to_unit(self, join_topology):
+        segments = enumerate_mc_trees(join_topology, within={"A", "J"})
+        # J task + one of its two A-substreams: 2 J tasks x 2 = 4 segments.
+        assert len(segments) == 4
+        assert all(
+            {t.operator for t in segment} == {"A", "J"} for segment in segments
+        )
+
+    def test_restricted_sources_are_boundary_tasks(self, chain_topology):
+        segments = enumerate_mc_trees(chain_topology, within={"B", "C"})
+        assert all(any(t.operator == "B" for t in s) for s in segments)
+
+    def test_sink_outside_restriction_rejected(self, chain_topology):
+        with pytest.raises(TopologyError):
+            enumerate_mc_trees(chain_topology, within={"A"},
+                               sink_tasks=[TaskId("C", 0)])
+
+
+class TestLimits:
+    def test_limit_guards_explosion(self):
+        topo = linear_chain([4, 4, 4, 4])
+        with pytest.raises(MCTreeExplosionError):
+            enumerate_mc_trees(topo, limit=10)
+
+    def test_limit_none_disables_guard(self):
+        topo = linear_chain([3, 3])
+        assert len(enumerate_mc_trees(topo, limit=None)) == 9
+
+
+class TestDerivationCount:
+    def test_matches_enumeration_on_chain(self):
+        topo = linear_chain([3, 2, 4])
+        assert count_mc_tree_derivations(topo) == len(enumerate_mc_trees(topo))
+
+    def test_matches_enumeration_on_join(self, join_topology):
+        assert count_mc_tree_derivations(join_topology) == (
+            len(enumerate_mc_trees(join_topology))
+        )
+
+    def test_fast_on_large_full_topology(self):
+        topo = linear_chain([10, 10, 10, 10, 10])
+        assert count_mc_tree_derivations(topo) == 10 ** 5
+
+
+class TestHelpers:
+    def test_tree_is_replicated(self, chain_topology):
+        tree = frozenset({TaskId("S", 0), TaskId("A", 0)})
+        assert tree_is_replicated(tree, {TaskId("S", 0), TaskId("A", 0), TaskId("B", 0)})
+        assert not tree_is_replicated(tree, {TaskId("S", 0)})
+
+    def test_minimum_tree_size(self):
+        trees = [frozenset({TaskId("A", 0)}),
+                 frozenset({TaskId("A", 0), TaskId("B", 0)})]
+        assert minimum_tree_size(trees) == 1
+
+    def test_minimum_tree_size_empty_raises(self):
+        with pytest.raises(TopologyError):
+            minimum_tree_size([])

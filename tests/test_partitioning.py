@@ -1,0 +1,96 @@
+"""Unit tests for the four partitioning patterns (Sec. II-A)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import OperatorKind, OperatorSpec, Partitioning, substream_weights
+from repro.topology.partitioning import (
+    downstream_targets,
+    upstream_feeders,
+    validate_pattern,
+)
+
+
+def _op(name, parallelism, weights=None):
+    return OperatorSpec(name, parallelism, OperatorKind.INDEPENDENT,
+                        task_weights=tuple(weights or ()))
+
+
+class TestValidation:
+    def test_one_to_one_requires_equal_parallelism(self):
+        with pytest.raises(TopologyError):
+            validate_pattern(_op("U", 2), _op("D", 3), Partitioning.ONE_TO_ONE)
+
+    def test_split_requires_growth(self):
+        with pytest.raises(TopologyError):
+            validate_pattern(_op("U", 4), _op("D", 4), Partitioning.SPLIT)
+
+    def test_merge_requires_shrink(self):
+        with pytest.raises(TopologyError):
+            validate_pattern(_op("U", 2), _op("D", 2), Partitioning.MERGE)
+
+    def test_full_accepts_any_sizes(self):
+        validate_pattern(_op("U", 1), _op("D", 7), Partitioning.FULL)
+        validate_pattern(_op("U", 7), _op("D", 1), Partitioning.FULL)
+
+
+class TestOneToOne:
+    def test_identity_mapping(self):
+        weights = substream_weights(_op("U", 3), _op("D", 3), Partitioning.ONE_TO_ONE)
+        assert weights == {(0, 0): 1.0, (1, 1): 1.0, (2, 2): 1.0}
+
+
+class TestMerge:
+    def test_each_upstream_has_single_target(self):
+        weights = substream_weights(_op("U", 4), _op("D", 2), Partitioning.MERGE)
+        for i in range(4):
+            targets = downstream_targets(weights, i)
+            assert len(targets) == 1
+            assert weights[(i, targets[0])] == 1.0
+
+    def test_downstream_receives_multiple_feeders(self):
+        weights = substream_weights(_op("U", 4), _op("D", 2), Partitioning.MERGE)
+        assert upstream_feeders(weights, 0) == [0, 1]
+        assert upstream_feeders(weights, 1) == [2, 3]
+
+    def test_uneven_merge_covers_all_upstreams(self):
+        weights = substream_weights(_op("U", 5), _op("D", 2), Partitioning.MERGE)
+        assert sorted({i for i, _j in weights}) == list(range(5))
+
+
+class TestSplit:
+    def test_each_downstream_has_single_feeder(self):
+        weights = substream_weights(_op("U", 2), _op("D", 6), Partitioning.SPLIT)
+        for j in range(6):
+            assert len(upstream_feeders(weights, j)) == 1
+
+    def test_upstream_output_shares_sum_to_one(self):
+        weights = substream_weights(_op("U", 2), _op("D", 6), Partitioning.SPLIT)
+        for i in range(2):
+            total = sum(w for (u, _d), w in weights.items() if u == i)
+            assert total == pytest.approx(1.0)
+
+    def test_split_respects_downstream_weights(self):
+        down = _op("D", 4, weights=(1.0, 3.0, 1.0, 1.0))
+        weights = substream_weights(_op("U", 2), down, Partitioning.SPLIT)
+        # Upstream 0 feeds downstream {0, 1}: shares proportional to 1:3.
+        assert weights[(0, 0)] == pytest.approx(0.25)
+        assert weights[(0, 1)] == pytest.approx(0.75)
+
+
+class TestFull:
+    def test_every_pair_connected(self):
+        weights = substream_weights(_op("U", 2), _op("D", 3), Partitioning.FULL)
+        assert set(weights) == {(i, j) for i in range(2) for j in range(3)}
+
+    def test_weights_follow_downstream_key_shares(self):
+        down = _op("D", 2, weights=(1.0, 3.0))
+        weights = substream_weights(_op("U", 2), down, Partitioning.FULL)
+        assert weights[(0, 0)] == pytest.approx(0.25)
+        assert weights[(0, 1)] == pytest.approx(0.75)
+
+    def test_upstream_output_shares_sum_to_one(self):
+        weights = substream_weights(_op("U", 3), _op("D", 5), Partitioning.FULL)
+        for i in range(3):
+            total = sum(w for (u, _d), w in weights.items() if u == i)
+            assert total == pytest.approx(1.0)

@@ -1,0 +1,94 @@
+"""Tests for plans, objectives and the planning context."""
+
+import pytest
+
+from repro.core import (
+    IC_OBJECTIVE,
+    OF_OBJECTIVE,
+    PlanningContext,
+    ReplicationPlan,
+    budget_from_fraction,
+)
+from repro.errors import PlanningError
+from repro.topology import TaskId
+
+
+class TestReplicationPlan:
+    def test_usage_counts_tasks(self):
+        plan = ReplicationPlan(frozenset({TaskId("A", 0), TaskId("A", 1)}))
+        assert plan.usage == 2
+
+    def test_contains(self):
+        plan = ReplicationPlan(frozenset({TaskId("A", 0)}))
+        assert TaskId("A", 0) in plan
+        assert TaskId("A", 1) not in plan
+
+    def test_union_preserves_provenance(self):
+        plan = ReplicationPlan(frozenset(), planner="X", budget=3)
+        grown = plan.union({TaskId("A", 0)})
+        assert grown.usage == 1
+        assert grown.planner == "X"
+        assert grown.budget == 3
+
+    def test_value_uses_worst_case(self, chain_topology, chain_rates):
+        full = ReplicationPlan(frozenset(chain_topology.tasks()))
+        assert full.value(chain_topology, chain_rates) == 1.0
+
+
+class TestObjectives:
+    def test_of_objective_plan_value(self, chain_topology, chain_rates):
+        value = OF_OBJECTIVE.plan_value(chain_topology, chain_rates, frozenset())
+        assert value == 0.0
+
+    def test_ic_objective_differs_on_joins(self, join_topology, join_rates):
+        plan = frozenset({
+            TaskId("Sa", 0), TaskId("A", 0), TaskId("J", 0), TaskId("K", 0)
+        })
+        of = OF_OBJECTIVE.plan_value(join_topology, join_rates, plan)
+        ic = IC_OBJECTIVE.plan_value(join_topology, join_rates, plan)
+        assert of == 0.0  # the join is starved of its B-side stream
+        assert ic > 0.0
+
+    def test_single_failure_value(self, chain_topology, chain_rates):
+        value = OF_OBJECTIVE.single_failure_value(
+            chain_topology, chain_rates, TaskId("C", 0)
+        )
+        assert value == 0.0
+
+    def test_masked_plan_value_assumes_outside_alive(self, chain_topology,
+                                                     chain_rates):
+        mask = frozenset(chain_topology.tasks_of("A"))
+        value = OF_OBJECTIVE.plan_value(
+            chain_topology, chain_rates, frozenset({TaskId("A", 0)}), mask=mask
+        )
+        # Only A's other three tasks fail; S, B, C stay alive.
+        assert value == pytest.approx(0.25)
+
+
+class TestPlanningContext:
+    def test_default_mask_covers_all_tasks(self, chain_topology, chain_rates):
+        ctx = PlanningContext(chain_topology, chain_rates)
+        assert ctx.mask_tasks == frozenset(chain_topology.tasks())
+
+    def test_restricted_mask(self, chain_topology, chain_rates):
+        ctx = PlanningContext(chain_topology, chain_rates, ops=frozenset({"A"}))
+        assert ctx.mask_tasks == frozenset(chain_topology.tasks_of("A"))
+
+    def test_value_with_restricted_mask(self, chain_topology, chain_rates):
+        ctx = PlanningContext(chain_topology, chain_rates, ops=frozenset({"A"}))
+        assert ctx.value(frozenset(chain_topology.tasks_of("A"))) == 1.0
+        assert ctx.value(frozenset()) == 0.0
+
+
+class TestBudgetFromFraction:
+    def test_rounds_to_nearest_task(self, chain_topology):
+        assert budget_from_fraction(chain_topology, 0.5) == round(0.5 * 11)
+
+    def test_zero_and_one(self, chain_topology):
+        assert budget_from_fraction(chain_topology, 0.0) == 0
+        assert budget_from_fraction(chain_topology, 1.0) == chain_topology.num_tasks
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.1])
+    def test_rejects_out_of_range(self, chain_topology, fraction):
+        with pytest.raises(PlanningError):
+            budget_from_fraction(chain_topology, fraction)

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These exercise the metric/planner layer on randomly generated topologies and
+failure sets, checking the invariants the algorithms rely on:
+
+* losses and fidelities stay in [0, 1];
+* OF is antitone in the failed set (more failures never help);
+* worst-case OF is monotone in the plan (more replicas never hurt);
+* planners never exceed their budget and are deterministic;
+* partitioning weight maps are well-formed for arbitrary legal sizes.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    GreedyPlanner,
+    StructureAwarePlanner,
+    enumerate_mc_trees,
+    output_fidelity,
+    propagate_information_loss,
+    worst_case_fidelity,
+)
+from repro.topology import (
+    OperatorKind,
+    OperatorSpec,
+    Partitioning,
+    TaskId,
+    TopologySpec,
+    WeightSkew,
+    generate_source_rates,
+    generate_topology,
+    propagate_rates,
+    substream_weights,
+)
+
+topology_seeds = st.integers(min_value=0, max_value=10_000)
+specs = st.sampled_from([
+    TopologySpec(n_operators=(2, 5), parallelism=(1, 4)),
+    TopologySpec(n_operators=(2, 5), parallelism=(1, 4), join_fraction=0.5),
+    TopologySpec(n_operators=(2, 4), parallelism=(2, 5),
+                 weight_skew=WeightSkew.ZIPF, zipf_s=0.5),
+])
+
+
+def _instance(spec: TopologySpec, seed: int):
+    topology = generate_topology(spec, seed)
+    rates = propagate_rates(topology, generate_source_rates(topology, seed))
+    return topology, rates
+
+
+def _failure_set(topology, seed: int, fraction: float):
+    tasks = sorted(topology.tasks())
+    count = int(len(tasks) * fraction)
+    # Deterministic pseudo-random subset derived from the seed.
+    return frozenset(tasks[(seed + 3 * i) % len(tasks)] for i in range(count))
+
+
+class TestLossInvariants:
+    @given(specs, topology_seeds, st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_losses_within_unit_interval(self, spec, seed, fraction):
+        topology, rates = _instance(spec, seed)
+        failed = _failure_set(topology, seed, fraction)
+        loss = propagate_information_loss(topology, rates, failed)
+        assert all(0.0 <= v <= 1.0 for v in loss.values())
+
+    @given(specs, topology_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_failed_tasks_have_total_loss(self, spec, seed):
+        topology, rates = _instance(spec, seed)
+        failed = _failure_set(topology, seed, 0.4)
+        loss = propagate_information_loss(topology, rates, failed)
+        assert all(loss[t] == 1.0 for t in failed)
+
+    @given(specs, topology_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_fidelity_antitone_in_failures(self, spec, seed):
+        topology, rates = _instance(spec, seed)
+        small = _failure_set(topology, seed, 0.2)
+        large = small | _failure_set(topology, seed + 1, 0.3)
+        assert output_fidelity(topology, rates, large) <= (
+            output_fidelity(topology, rates, small) + 1e-9
+        )
+
+
+class TestFidelityInvariants:
+    @given(specs, topology_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_worst_case_bounds(self, spec, seed):
+        topology, rates = _instance(spec, seed)
+        assert worst_case_fidelity(topology, rates, topology.tasks()) == 1.0
+        assert worst_case_fidelity(topology, rates, ()) == 0.0
+
+    @given(specs, topology_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_worst_case_monotone_in_plan(self, spec, seed):
+        topology, rates = _instance(spec, seed)
+        tasks = sorted(topology.tasks())
+        half = frozenset(tasks[: len(tasks) // 2])
+        more = half | {tasks[-1]}
+        assert worst_case_fidelity(topology, rates, more) >= (
+            worst_case_fidelity(topology, rates, half) - 1e-9
+        )
+
+
+class TestPlannerInvariants:
+    @given(specs, topology_seeds, st.floats(0.1, 0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_plans_respect_budget(self, spec, seed, fraction):
+        topology, rates = _instance(spec, seed)
+        budget = max(1, int(topology.num_tasks * fraction))
+        for planner in (GreedyPlanner(), StructureAwarePlanner()):
+            plan = planner.plan(topology, rates, budget)
+            assert plan.usage <= budget
+            assert plan.replicated <= set(topology.tasks())
+
+    @given(specs, topology_seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_planners_deterministic(self, spec, seed):
+        topology, rates = _instance(spec, seed)
+        budget = max(1, topology.num_tasks // 3)
+        for planner_cls in (GreedyPlanner, StructureAwarePlanner):
+            a = planner_cls().plan(topology, rates, budget)
+            b = planner_cls().plan(topology, rates, budget)
+            assert a.replicated == b.replicated
+
+    @given(specs, topology_seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_sa_trajectory_values_monotone(self, spec, seed):
+        topology, rates = _instance(spec, seed)
+        trajectory = StructureAwarePlanner().plan_trajectory(
+            topology, rates, topology.num_tasks
+        )
+        values = [
+            worst_case_fidelity(topology, rates, p.replicated) for p in trajectory
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+
+class TestMCTreeInvariants:
+    @given(topology_seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_trees_span_source_to_sink(self, seed):
+        spec = TopologySpec(n_operators=(2, 4), parallelism=(1, 3))
+        topology, rates = _instance(spec, seed)
+        sources = set(topology.source_tasks())
+        sinks = set(topology.sink_tasks())
+        for tree in enumerate_mc_trees(topology, limit=5000):
+            assert tree & sources
+            assert tree & sinks
+            assert worst_case_fidelity(topology, rates, tree) > 0.0
+
+
+class TestPartitioningProperties:
+    @given(st.integers(1, 12), st.integers(1, 12),
+           st.sampled_from(list(Partitioning)))
+    @settings(max_examples=60, deadline=None)
+    def test_weights_partition_upstream_output(self, n_up, n_down, pattern):
+        if pattern is Partitioning.ONE_TO_ONE and n_up != n_down:
+            return
+        if pattern is Partitioning.SPLIT and n_down <= n_up:
+            return
+        if pattern is Partitioning.MERGE and n_up <= n_down:
+            return
+        up = OperatorSpec("U", n_up, OperatorKind.SOURCE)
+        down = OperatorSpec("D", n_down, OperatorKind.INDEPENDENT)
+        weights = substream_weights(up, down, pattern)
+        for i in range(n_up):
+            total = sum(w for (u, _d), w in weights.items() if u == i)
+            assert abs(total - 1.0) < 1e-9
+        covered = {j for (_u, j) in weights}
+        assert covered == set(range(n_down))

@@ -1,0 +1,183 @@
+"""Unit tests for the query operator library (Q1, Q2, synthetic, windows)."""
+
+import pytest
+
+from repro.queries import (
+    GlobalTopKOperator,
+    IncidentAggregateOperator,
+    IncidentCombineOperator,
+    MergeAggregateOperator,
+    SegmentSpeedOperator,
+    SliceAggregateOperator,
+    SlidingWindow,
+    SpeedIncidentJoinOperator,
+    WindowedSelectivityOperator,
+    incident_accuracy,
+    incident_result_set,
+    topk_accuracy,
+    topk_result_set,
+)
+from repro.topology import TaskId
+
+T = TaskId("X", 0)
+UP_A, UP_B = TaskId("U", 0), TaskId("U", 1)
+
+
+class TestSlidingWindow:
+    def test_eviction_by_horizon(self):
+        window = SlidingWindow(5.0)
+        window.add(1.0, "a")
+        window.add(4.0, "b")
+        assert window.evict(7.0) == 1
+        assert list(window.items()) == ["b"]
+
+    def test_boundary_is_inclusive_for_eviction(self):
+        window = SlidingWindow(5.0)
+        window.add(2.0, "a")
+        window.evict(7.0)  # 7 - 5 = 2 -> evicted
+        assert len(window) == 0
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0.0)
+
+    def test_bool_and_len(self):
+        window = SlidingWindow(5.0)
+        assert not window
+        window.add(1.0, "a")
+        assert window and len(window) == 1
+
+
+class TestWindowedSelectivity:
+    def test_selectivity_one_passes_everything(self):
+        op = WindowedSelectivityOperator(10.0, 1.0)
+        out = op.process_batch(T, 1.0, {UP_A: [("k", 1), ("k", 2)]})
+        assert len(out) == 2
+
+    def test_selectivity_half_passes_half(self):
+        op = WindowedSelectivityOperator(10.0, 0.5)
+        out = op.process_batch(T, 1.0, {UP_A: [("k", i) for i in range(10)]})
+        assert len(out) == 5
+
+    def test_state_size_tracks_window(self):
+        op = WindowedSelectivityOperator(3.0, 1.0)
+        op.process_batch(T, 1.0, {UP_A: [("k", 1)] * 4})
+        op.process_batch(T, 2.0, {UP_A: [("k", 2)] * 4})
+        assert op.state_size() == 8
+        # At t=4 the horizon is 1.0 (inclusive): batch-1 tuples evict.
+        op.process_batch(T, 4.0, {UP_A: []})
+        assert op.state_size() == 4
+
+    def test_snapshot_restore_roundtrip(self):
+        op = WindowedSelectivityOperator(10.0, 0.5)
+        op.process_batch(T, 1.0, {UP_A: [("k", i) for i in range(5)]})
+        snap = op.snapshot()
+        clone = WindowedSelectivityOperator(10.0, 0.5)
+        clone.restore(snap)
+        a = op.process_batch(T, 2.0, {UP_A: [("k", 9)] * 4})
+        b = clone.process_batch(T, 2.0, {UP_A: [("k", 9)] * 4})
+        assert a == b
+        assert op.state_size() == clone.state_size()
+
+    def test_rejects_bad_selectivity(self):
+        with pytest.raises(ValueError):
+            WindowedSelectivityOperator(10.0, 1.5)
+
+
+class TestTopK:
+    def test_slice_counts_per_key(self):
+        op = SliceAggregateOperator()
+        out = op.process_batch(T, 1.0, {UP_A: [("p1", 0), ("p1", 0), ("p2", 0)]})
+        assert out == [("p1", 2), ("p2", 1)]
+
+    def test_merge_accumulates_over_window(self):
+        op = MergeAggregateOperator(window_seconds=10.0)
+        op.process_batch(T, 1.0, {UP_A: [("p1", 2)]})
+        out = op.process_batch(T, 2.0, {UP_A: [("p1", 3)]})
+        assert ("p1", 5) in out
+
+    def test_merge_expires_old_partials(self):
+        op = MergeAggregateOperator(window_seconds=2.0)
+        op.process_batch(T, 1.0, {UP_A: [("p1", 2)]})
+        out = op.process_batch(T, 4.0, {UP_A: [("p2", 1)]})
+        assert out == [("p2", 1)]
+
+    def test_global_topk_sums_partials_across_upstreams(self):
+        op = GlobalTopKOperator(k=2, window_seconds=10.0)
+        out = op.process_batch(T, 1.0, {
+            UP_A: [("p1", 5), ("p2", 1)],
+            UP_B: [("p1", 4), ("p3", 7)],
+        })
+        top = topk_result_set(out)
+        assert top == {"p1", "p3"}  # p1: 5+4=9, p3: 7, p2: 1
+
+    def test_global_topk_expires_stale_upstream_contributions(self):
+        op = GlobalTopKOperator(k=1, window_seconds=2.0)
+        op.process_batch(T, 1.0, {UP_A: [("p1", 10)]})
+        out = op.process_batch(T, 4.0, {UP_B: [("p2", 1)]})
+        assert topk_result_set(out) == {"p2"}
+
+    def test_topk_accuracy_is_overlap_fraction(self):
+        accurate = [("top-k", ("a", "b", "c", "d"))]
+        tentative = [("top-k", ("a", "b", "x", "y"))]
+        assert topk_accuracy(tentative, accurate) == 0.5
+
+    def test_topk_accuracy_empty_accurate_is_perfect(self):
+        assert topk_accuracy([], []) == 1.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            GlobalTopKOperator(k=0)
+
+
+class TestIncidents:
+    def test_segment_speed_averages_per_segment(self):
+        op = SegmentSpeedOperator()
+        out = op.process_batch(T, 1.0, {UP_A: [("s1", 10.0), ("s1", 30.0)]})
+        assert out == [("s1", 20.0)]
+
+    def test_incident_combine_dedups_reports(self):
+        op = IncidentCombineOperator(window_seconds=10.0)
+        out = op.process_batch(T, 1.0, {
+            UP_A: [("s1", "inc-1"), ("s1", "inc-1"), ("s2", "inc-2")]
+        })
+        assert out == [("s1", "inc-1"), ("s2", "inc-2")]
+        again = op.process_batch(T, 2.0, {UP_A: [("s1", "inc-1")]})
+        assert again == []
+
+    def test_incident_combine_forgets_expired(self):
+        op = IncidentCombineOperator(window_seconds=2.0)
+        op.process_batch(T, 1.0, {UP_A: [("s1", "inc-1")]})
+        out = op.process_batch(T, 5.0, {UP_A: [("s1", "inc-1")]})
+        assert out == [("s1", "inc-1")]  # expired, so reported again
+
+    def test_join_matches_incident_with_slow_segment(self):
+        op = SpeedIncidentJoinOperator(window_seconds=10.0, jam_speed=20.0)
+        out = op.process_batch(T, 1.0, {
+            UP_A: [("s1", 5.0), ("s2", 50.0)],
+            UP_B: [("s1", "inc-1"), ("s2", "inc-2")],
+        })
+        assert out == [("s1", "inc-1")]
+
+    def test_join_needs_both_sides(self):
+        op = SpeedIncidentJoinOperator(window_seconds=10.0, jam_speed=20.0)
+        out = op.process_batch(T, 1.0, {UP_B: [("s1", "inc-1")]})
+        assert out == []
+
+    def test_join_window_carries_context_across_batches(self):
+        op = SpeedIncidentJoinOperator(window_seconds=10.0, jam_speed=20.0)
+        op.process_batch(T, 1.0, {UP_A: [("s1", 5.0)]})
+        out = op.process_batch(T, 2.0, {UP_B: [("s1", "inc-1")]})
+        assert out == [("s1", "inc-1")]
+
+    def test_aggregate_collects_distinct_incidents(self):
+        op = IncidentAggregateOperator(window_seconds=10.0)
+        out = op.process_batch(T, 1.0, {
+            UP_A: [("s1", "inc-1")], UP_B: [("s2", "inc-2")],
+        })
+        assert incident_result_set(out) == {"inc-1", "inc-2"}
+
+    def test_incident_accuracy(self):
+        accurate = [("jam-incidents", frozenset({"a", "b"}))]
+        tentative = [("jam-incidents", frozenset({"a"}))]
+        assert incident_accuracy(tentative, accurate) == 0.5

@@ -1,0 +1,91 @@
+"""Unit tests for stream-rate propagation."""
+
+import pytest
+
+from repro.errors import RateError
+from repro.topology import (
+    Partitioning,
+    SourceRates,
+    TaskId,
+    TopologyBuilder,
+    propagate_rates,
+    uniform_source_rates,
+)
+
+
+class TestSourceRates:
+    def test_per_task_overrides_operator_rate(self, chain_topology):
+        sources = SourceRates(per_operator={"S": 400.0},
+                              per_task={TaskId("S", 0): 10.0})
+        assert sources.rate_of(chain_topology, TaskId("S", 0)) == 10.0
+        assert sources.rate_of(chain_topology, TaskId("S", 1)) == pytest.approx(100.0)
+
+    def test_missing_rate_raises(self, chain_topology):
+        with pytest.raises(RateError):
+            SourceRates().rate_of(chain_topology, TaskId("S", 0))
+
+    def test_uniform_rates_cover_all_sources(self, chain_topology):
+        rates = uniform_source_rates(chain_topology, 5.0)
+        assert all(
+            rates.per_task[t] == 5.0 for t in chain_topology.source_tasks()
+        )
+
+    def test_uniform_rates_reject_non_positive(self, chain_topology):
+        with pytest.raises(RateError):
+            uniform_source_rates(chain_topology, 0.0)
+
+
+class TestPropagation:
+    def test_source_rates_taken_verbatim(self, chain_topology):
+        rates = propagate_rates(chain_topology, uniform_source_rates(chain_topology, 100.0))
+        assert rates.output_rate(TaskId("S", 0)) == 100.0
+
+    def test_independent_output_is_selectivity_times_sum(self, chain_topology):
+        rates = propagate_rates(chain_topology, uniform_source_rates(chain_topology, 100.0))
+        # A has 4 tasks; full partitioning splits 400 source tuples evenly,
+        # and selectivity 0.5 halves them.
+        assert rates.output_rate(TaskId("A", 0)) == pytest.approx(50.0)
+
+    def test_sink_rate_accumulates_chain_selectivity(self, chain_topology):
+        rates = propagate_rates(chain_topology, uniform_source_rates(chain_topology, 100.0))
+        # 400 total * 0.5^3 through three operators.
+        assert rates.output_rate(TaskId("C", 0)) == pytest.approx(50.0)
+
+    def test_input_stream_rate_sums_substreams(self, chain_topology):
+        rates = propagate_rates(chain_topology, uniform_source_rates(chain_topology, 100.0))
+        assert rates.input_stream_rate(TaskId("A", 0), "S") == pytest.approx(100.0)
+
+    def test_substream_rate_of_disconnected_pair_is_zero(self, chain_topology):
+        rates = propagate_rates(chain_topology, uniform_source_rates(chain_topology, 100.0))
+        assert rates.substream_rate(TaskId("S", 0), TaskId("C", 0)) == 0.0
+
+    def test_unknown_task_rate_raises(self, chain_topology):
+        rates = propagate_rates(chain_topology, uniform_source_rates(chain_topology, 100.0))
+        with pytest.raises(RateError):
+            rates.output_rate(TaskId("Z", 9))
+
+    def test_correlated_rate_is_product_of_streams(self):
+        topo = (
+            TopologyBuilder()
+            .source("A", 1)
+            .source("B", 1)
+            .join("J", 1, selectivity=0.5)
+            .connect("A", "J", Partitioning.FULL)
+            .connect("B", "J", Partitioning.FULL)
+            .build()
+        )
+        rates = propagate_rates(topo, SourceRates(per_operator={"A": 10.0, "B": 20.0}))
+        assert rates.output_rate(TaskId("J", 0)) == pytest.approx(0.5 * 10.0 * 20.0)
+
+    def test_merge_keeps_rates_on_single_target(self, merge_tree_topology):
+        rates = propagate_rates(
+            merge_tree_topology, uniform_source_rates(merge_tree_topology, 100.0)
+        )
+        # Each A task merges exactly two sources.
+        assert rates.input_stream_rate(TaskId("A", 0), "S") == pytest.approx(200.0)
+
+    def test_fig2_stream_rates(self, fig2_topology, fig2_rates):
+        """The Fig. 2 caption: λ_in(31,1) = 3 and λ_in(31,2) = 5."""
+        t31 = TaskId("O3", 0)
+        assert fig2_rates.input_stream_rate(t31, "O1") == pytest.approx(3.0)
+        assert fig2_rates.input_stream_rate(t31, "O2") == pytest.approx(5.0)

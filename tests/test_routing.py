@@ -1,0 +1,71 @@
+"""Unit tests for key-based tuple routing."""
+
+import pytest
+
+from repro.engine import Router, stable_hash
+from repro.topology import Partitioning, TaskId, TopologyBuilder, linear_chain
+
+
+def _topology(pattern, n_up, n_down):
+    return (
+        TopologyBuilder()
+        .source("U", n_up)
+        .operator("D", n_down)
+        .connect("U", "D", pattern)
+        .build()
+    )
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("page-1") == stable_hash("page-1")
+
+    def test_spreads_keys(self):
+        buckets = {stable_hash(f"k{i}") % 4 for i in range(100)}
+        assert buckets == {0, 1, 2, 3}
+
+
+class TestRouting:
+    def test_one_to_one_keeps_index(self):
+        router = Router(_topology(Partitioning.ONE_TO_ONE, 3, 3))
+        out = router.distribute(TaskId("U", 1), [("a", 1), ("b", 2)])
+        assert sorted(out) == [TaskId("D", 1)]
+        assert len(out[TaskId("D", 1)]) == 2
+
+    def test_merge_sends_to_single_target(self):
+        router = Router(_topology(Partitioning.MERGE, 4, 2))
+        out = router.distribute(TaskId("U", 3), [("a", 1)])
+        assert list(out) == [TaskId("D", 1)]
+
+    def test_split_stays_within_group(self):
+        router = Router(_topology(Partitioning.SPLIT, 2, 6))
+        out = router.distribute(TaskId("U", 0), [(f"k{i}", i) for i in range(50)])
+        # Upstream 0's group is downstream {0, 1, 2}.
+        targets = {dst for dst, tuples in out.items() if tuples}
+        assert targets <= {TaskId("D", 0), TaskId("D", 1), TaskId("D", 2)}
+
+    def test_full_partitions_by_key_hash(self):
+        router = Router(_topology(Partitioning.FULL, 2, 3))
+        out = router.distribute(TaskId("U", 0), [(f"k{i}", i) for i in range(60)])
+        non_empty = [dst for dst, tuples in out.items() if tuples]
+        assert len(non_empty) == 3  # enough keys to hit every task
+
+    def test_same_key_same_destination_across_upstreams(self):
+        router = Router(_topology(Partitioning.FULL, 2, 3))
+        a = router.distribute(TaskId("U", 0), [("hot", 1)])
+        b = router.distribute(TaskId("U", 1), [("hot", 2)])
+        dst_a = [d for d, t in a.items() if t]
+        dst_b = [d for d, t in b.items() if t]
+        assert dst_a[0].index == dst_b[0].index
+
+    def test_every_downstream_gets_punctuation_entry(self):
+        router = Router(_topology(Partitioning.FULL, 1, 4))
+        out = router.distribute(TaskId("U", 0), [])
+        assert sorted(out) == [TaskId("D", i) for i in range(4)]
+        assert all(t == [] for t in out.values())
+
+    def test_multi_hop_chain_routes_everywhere(self):
+        topo = linear_chain([2, 2, 2])
+        router = Router(topo)
+        out = router.distribute(TaskId("O1", 0), [(f"k{i}", i) for i in range(20)])
+        assert sum(len(t) for t in out.values()) == 20

