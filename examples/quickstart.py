@@ -1,82 +1,81 @@
-"""Quickstart: plan active replication for a topology and see what it buys.
+"""Quickstart: declare a scenario, run it, see what active replication buys.
 
-Builds a small aggregation topology, computes Output Fidelity under the
-worst-case correlated failure for plans produced by the greedy and the
-structure-aware planners, then actually runs the topology on the simulated
-engine, kills everything outside the SA plan, and shows tentative outputs
-flowing.
+Declares a small aggregation topology as a serializable recipe, compares the
+greedy and structure-aware planners on it via a scenario grid, then runs the
+structure-aware plan through the engine with everything outside the plan
+killed — tentative outputs keep flowing from the replicated subtree.
+
+The whole pipeline (topology -> rates -> planner -> engine -> failure
+injection) is driven by `repro.run_scenario`; no hand-wiring.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import (
-    GreedyPlanner,
-    StructureAwarePlanner,
-    budget_from_fraction,
-    worst_case_fidelity,
-)
-from repro.engine import EngineConfig, LogicFactory, StreamEngine
-from repro.queries import WindowedSelectivityOperator
-from repro.topology import (
-    Partitioning,
-    TopologyBuilder,
-    propagate_rates,
-    uniform_source_rates,
-)
-from repro.workloads import UniformRateSource
+import json
+
+import repro
 
 
-def build_topology():
-    """Four sources feeding a two-level aggregation with a single sink."""
-    return (
-        TopologyBuilder()
-        .source("sensors", 4)
-        .operator("preagg", 4, selectivity=0.5)
-        .operator("merge", 2, selectivity=0.5)
-        .operator("report", 1)
-        .connect("sensors", "preagg", Partitioning.ONE_TO_ONE)
-        .connect("preagg", "merge", Partitioning.MERGE)
-        .connect("merge", "report", Partitioning.MERGE)
-        .build()
+def build_recipe() -> repro.TopologyRecipe:
+    """Four sensor sources feeding a two-level aggregation with one sink."""
+    return repro.TopologyRecipe(
+        operators=(
+            repro.OperatorDef("sensors", 4, kind="source"),
+            repro.OperatorDef("preagg", 4, selectivity=0.5),
+            repro.OperatorDef("merge", 2, selectivity=0.5),
+            repro.OperatorDef("report", 1),
+        ),
+        edges=(
+            repro.EdgeDef("sensors", "preagg", "one-to-one"),
+            repro.EdgeDef("preagg", "merge", "merge"),
+            repro.EdgeDef("merge", "report", "merge"),
+        ),
     )
 
 
 def main():
-    topology = build_topology()
+    recipe = build_recipe()
+    topology = recipe.build()
     print(topology.describe())
-    rates = propagate_rates(topology, uniform_source_rates(topology, 100.0))
 
-    budget = budget_from_fraction(topology, 0.4)
-    print(f"\nReplication budget: {budget} of {topology.num_tasks} tasks (40%)\n")
+    # One declarative scenario: the custom topology, a 40% replication
+    # budget, and a failure killing every task outside the plan while
+    # recovery stays off — the Fig. 12/13 tentative-output situation.
+    base = repro.Scenario(
+        workload="custom",
+        topology=recipe,
+        workload_params={"source_rate": 50.0, "window_seconds": 10.0},
+        budget_fraction=0.4,
+        engine={"checkpoint_interval": None, "tentative_outputs": True,
+                "recovery_enabled": False},
+        failures=(repro.FailureSpec("unreplicated", at=10.0),),
+        duration=20.0,
+    )
+    print(f"\nScenario JSON round-trips: "
+          f"{repro.Scenario.from_json(base.to_json()) == base}")
 
-    for planner in (GreedyPlanner(), StructureAwarePlanner()):
-        plan = planner.plan(topology, rates, budget)
-        fidelity = worst_case_fidelity(topology, rates, plan.replicated)
-        tasks = ", ".join(str(t) for t in sorted(plan.replicated))
-        print(f"{planner.name:>7}: OF = {fidelity:.3f}  plan = [{tasks}]")
+    budget = repro.budget_from_fraction(topology, 0.4)
+    print(f"Replication budget: {budget} of {topology.num_tasks} tasks (40%)\n")
 
-    # Run the SA plan on the engine and kill everything else.
-    plan = StructureAwarePlanner().plan(topology, rates, budget)
-    logic = LogicFactory()
-    logic.register_source("sensors", UniformRateSource(50.0))
-    for name in ("preagg", "merge", "report"):
-        logic.register_operator(name, lambda: WindowedSelectivityOperator(10.0, 1.0))
+    results = repro.run_grid(base, {"planner": ["greedy", "structure-aware"]})
+    for result in results:
+        tasks = ", ".join(str(t) for t in sorted(result.plan.replicated))
+        print(f"{result.plan.planner:>7}: OF = {result.worst_case_fidelity:.3f}"
+              f"  plan = [{tasks}]")
 
-    config = EngineConfig(checkpoint_interval=None, tentative_outputs=True,
-                          recovery_enabled=False)
-    engine = StreamEngine(topology, logic, config, plan=plan.replicated)
-    victims = [t for t in topology.tasks() if t not in plan.replicated]
-    engine.schedule_task_failure(10.0, victims)
-    engine.run(20.0)
+    sa = results[-1]
+    print(f"\nEngine run ({sa.plan.planner} plan): "
+          f"{sa.complete_sink_batches} complete output batches, "
+          f"{sa.tentative_sink_batches} tentative ones after the failure "
+          f"({sa.batches_forged} forged punctuations).")
+    if sa.tentative_sink_batches:
+        print("Tentative batches keep flowing — computed from the replicated "
+              "MC-trees only.")
 
-    complete = engine.metrics.sink_outputs(tentative=False)
-    tentative = engine.metrics.sink_outputs(tentative=True)
-    print(f"\nEngine run: {len(complete)} complete output batches, "
-          f"{len(tentative)} tentative ones after the correlated failure.")
-    if tentative:
-        sizes = [len(r.tuples) for r in tentative[-3:]]
-        print(f"Tentative batches keep flowing (last sizes: {sizes}) — "
-              "computed from the replicated MC-trees only.")
+    # Scenarios are plain data: this is exactly what
+    # `python -m repro.experiments scenario <file.json>` consumes.
+    print("\nScenario document:")
+    print(json.dumps(base.to_dict(), indent=2)[:400] + " ...")
 
 
 if __name__ == "__main__":

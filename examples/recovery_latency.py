@@ -1,37 +1,47 @@
 """Recovery-latency shootout on the Fig. 6 workload (Sec. VI-A).
 
-Injects a correlated failure (all 15 operator tasks at once) under each
-fault-tolerance technique and reports how long it takes until every task has
-caught up with its pre-failure progress vector — the paper's recovery-latency
-definition.
+Injects a single-task failure and a correlated failure (all 15 operator
+tasks at once) under each fault-tolerance technique and reports how long
+recovery takes until every task has caught up with its pre-failure progress
+vector — the paper's recovery-latency definition.
+
+Each cell is one declarative scenario: the technique maps to a planner name
+("all" or "none") plus engine overrides, the failure to a FailureSpec, and
+`repro.run_scenarios` executes the whole sweep.
 
 Run:  python examples/recovery_latency.py
 """
 
-from repro.experiments.recovery import (
-    DEFAULT_TECHNIQUES,
-    correlated_failure_latency,
-    single_failure_latency,
-)
-from repro.topology import TaskId
+from repro import FailureSpec, run_scenarios
+from repro.experiments.recovery import DEFAULT_TECHNIQUES
+
+WINDOW, RATE, TUPLE_SCALE = 10.0, 1000.0, 16.0
 
 
 def main():
-    window, rate = 10.0, 1000.0
-    print(f"Fig. 6 workload: 16 sources @ {rate:g} t/s, {window:g}s windows, "
+    print(f"Fig. 6 workload: 16 sources @ {RATE:g} t/s, {WINDOW:g}s windows, "
           "operators 8/4/2/1\n")
+
+    single = FailureSpec("single-task", at=45.0,
+                         params={"operator": "O2", "index": 0})
+    correlated = FailureSpec("correlated", at=45.0)
+    scenarios = [
+        technique.scenario(window=WINDOW, rate=RATE, tuple_scale=TUPLE_SCALE,
+                           failure=failure)
+        for technique in DEFAULT_TECHNIQUES
+        for failure in (single, correlated)
+    ]
+    results = run_scenarios(scenarios)
 
     print(f"{'technique':>15} | {'single failure':>14} | {'correlated':>10}")
     print("-" * 47)
-    for technique in DEFAULT_TECHNIQUES:
-        single = single_failure_latency(
-            technique, window=window, rate=rate,
-            positions=(TaskId("O2", 0),), tuple_scale=16.0,
-        )
-        correlated = correlated_failure_latency(
-            technique, window=window, rate=rate, tuple_scale=16.0,
-        )
-        print(f"{technique.label:>15} | {single:>13.2f}s | {correlated:>9.2f}s")
+    for technique, (single_res, corr_res) in zip(
+            DEFAULT_TECHNIQUES,
+            zip(results[0::2], results[1::2])):
+        assert single_res.all_recovered and corr_res.all_recovered
+        print(f"{technique.label:>15} | "
+              f"{single_res.mean_recovery_latency:>13.2f}s | "
+              f"{corr_res.max_recovery_latency:>9.2f}s")
 
     print("\nActive replicas recover in roughly constant time; checkpoint "
           "recovery grows\nwith the checkpoint interval; Storm replays whole "

@@ -5,11 +5,28 @@ Massively Parallel Stream Processing Engines"* (ICDE 2016): the Output
 Fidelity metric, the replication planners (dynamic programming, greedy,
 structured, full-topology, structure-aware), and a deterministic
 discrete-event MPSPE on which the paper's recovery and tentative-output
-experiments run.
+experiments run — all driveable through one declarative scenario façade.
 
 Quickstart
 ----------
+Describe an experiment as a :class:`Scenario` (workload, planner + budget,
+failure schedule) and run it end-to-end:
+
 >>> import repro
+>>> result = repro.run_scenario(repro.Scenario(
+...     workload="synthetic",
+...     workload_params={"rate_per_source": 200.0, "window_seconds": 5.0,
+...                      "tuple_scale": 16.0},
+...     planner="structure-aware", budget_fraction=0.5,
+...     failures=(repro.FailureSpec("correlated", at=10.0),),
+...     duration=20.0,
+... ))
+>>> result.all_recovered and 0.0 <= result.worst_case_fidelity <= 1.0
+True
+
+The lower-level pieces (topology builder, rate propagation, planners, the
+engine) remain available for hand-wired pipelines:
+
 >>> topo = repro.linear_chain([4, 4, 2, 1])
 >>> rates = repro.propagate_rates(topo, repro.uniform_source_rates(topo, 1000.0))
 >>> plan = repro.StructureAwarePlanner().plan(topo, rates, budget=6)
@@ -42,9 +59,26 @@ from repro.errors import (
     PlanningError,
     RateError,
     ReproError,
+    ScenarioError,
     SimulationError,
     TopologyError,
     WorkloadError,
+)
+from repro.scenarios import (
+    FAILURE_MODELS,
+    PLANNERS,
+    WORKLOADS,
+    EdgeDef,
+    FailureSpec,
+    OperatorDef,
+    Scenario,
+    ScenarioResult,
+    ScenarioRunner,
+    TopologyRecipe,
+    expand_grid,
+    run_grid,
+    run_scenario,
+    run_scenarios,
 )
 from repro.topology import (
     OperatorKind,
@@ -66,19 +100,24 @@ from repro.topology import (
     uniform_source_rates,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BruteForcePlanner",
     "DynamicProgrammingPlanner",
+    "EdgeDef",
     "ExperimentError",
+    "FAILURE_MODELS",
+    "FailureSpec",
     "FullTopologyPlanner",
     "GreedyPlanner",
     "IC_OBJECTIVE",
     "MCTreeExplosionError",
     "OF_OBJECTIVE",
+    "OperatorDef",
     "OperatorKind",
     "OperatorSpec",
+    "PLANNERS",
     "Partitioning",
     "PlanObjective",
     "Planner",
@@ -86,6 +125,10 @@ __all__ = [
     "RateError",
     "ReplicationPlan",
     "ReproError",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioResult",
+    "ScenarioRunner",
     "SimulationError",
     "SourceRates",
     "StreamEdge",
@@ -97,17 +140,23 @@ __all__ = [
     "TopologyBuilder",
     "TopologyClass",
     "TopologyError",
+    "TopologyRecipe",
     "TopologySpec",
+    "WORKLOADS",
     "WeightSkew",
     "WorkloadError",
     "budget_from_fraction",
     "enumerate_mc_trees",
+    "expand_grid",
     "generate_source_rates",
     "generate_topology",
     "internal_completeness",
     "linear_chain",
     "output_fidelity",
     "propagate_rates",
+    "run_grid",
+    "run_scenario",
+    "run_scenarios",
     "uniform_source_rates",
     "worst_case_completeness",
     "worst_case_fidelity",

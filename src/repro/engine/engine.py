@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+from repro.core.plans import ReplicationPlan
 from repro.engine.checkpoint import Checkpoint, CheckpointStore
 from repro.engine.cluster import Cluster
 from repro.engine.config import EngineConfig, PassiveStrategy
@@ -44,20 +45,26 @@ class StreamEngine:
 
     def __init__(self, topology: Topology, logic: LogicFactory,
                  config: EngineConfig | None = None, *,
-                 plan: Iterable[TaskId] = (),
+                 plan: ReplicationPlan | Iterable[TaskId] = (),
                  cluster: Cluster | None = None,
                  source_replay_window_batches: int = 30):
         self.topology = topology
         self.logic_factory = logic
         self.config = config or EngineConfig()
-        self.replicated = frozenset(plan)
+        # ``plan`` is either a full ReplicationPlan (keeping planner
+        # provenance attached to the run's metrics) or a bare task iterable.
+        if isinstance(plan, ReplicationPlan):
+            self.plan = plan
+        else:
+            self.plan = ReplicationPlan(frozenset(plan))
+        self.replicated = self.plan.replicated
         unknown = self.replicated - set(topology.tasks())
         if unknown:
             raise SimulationError(f"plan references unknown tasks: {sorted(unknown)}")
         self.source_replay_window_batches = source_replay_window_batches
 
         self.sim = Simulator()
-        self.metrics = MetricsCollector()
+        self.metrics = MetricsCollector(plan=self.plan)
         self.router = Router(topology)
         self.checkpoints = CheckpointStore()
         self.cluster = cluster or self._default_cluster()

@@ -14,6 +14,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.core.plans import ReplicationPlan
 from repro.engine.tuples import SinkRecord
 from repro.topology.operators import TaskId
 
@@ -67,7 +68,11 @@ class RecoveryRecord:
 class MetricsCollector:
     """Accumulates everything measurable during one engine run."""
 
-    def __init__(self) -> None:
+    def __init__(self, plan: ReplicationPlan | None = None) -> None:
+        #: The replication plan the run executed under (with planner
+        #: provenance), so downstream reporting never loses track of which
+        #: planner/budget produced the numbers.
+        self.plan: ReplicationPlan | None = plan
         self.cpu: dict[TaskId, TaskCpu] = {}
         self.recoveries: list[RecoveryRecord] = []
         self.sink_records: list[SinkRecord] = []

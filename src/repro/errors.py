@@ -44,3 +44,8 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured with invalid parameters."""
+
+
+class ScenarioError(ReproError):
+    """A declarative scenario is malformed or references unknown registry names."""
+

@@ -1,23 +1,34 @@
-"""Command-line entry point regenerating every figure of the paper.
+"""Command-line entry point: paper figures plus declarative scenarios.
 
 Usage::
 
     python -m repro.experiments fig7 fig9 --fast
     python -m repro.experiments all
+    python -m repro.experiments scenario my_scenario.json
+    python -m repro.experiments grid my_grid.json --workers 4
+
+(Installed as the ``repro-experiments`` console script as well.)
 
 ``--fast`` shrinks grids, topology counts and simulated durations so the full
 suite completes in a couple of minutes; omit it for the paper-scale runs.
+
+``scenario`` runs one JSON scenario file (see
+:class:`repro.scenarios.Scenario`); ``grid`` expands a JSON document of the
+form ``{"base": {...scenario...}, "axes": {"field": [v1, v2], ...}}`` — or an
+explicit ``{"scenarios": [...]}`` list — and executes every combination.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import Any, Callable, Sequence
 
+from repro.errors import ReproError, ScenarioError
 from repro.experiments.accuracy import fig12, fig13
-from repro.experiments.bundles import q1_bundle, q2_bundle
 from repro.experiments.checkpoint_cost import fig9
 from repro.experiments.claims import claims
 from repro.experiments.random_topologies import fig14
@@ -28,7 +39,10 @@ from repro.experiments.recovery import (
     fig8,
     fig10,
 )
+from repro.experiments.tables import format_table
+from repro.scenarios import Scenario, ScenarioResult, expand_grid, run_scenarios
 from repro.topology.operators import TaskId
+from repro.workloads.bundles import q1_bundle, q2_bundle
 
 def _fast_q1():
     return q1_bundle(window_seconds=20.0, pages=400, tuple_scale=8.0)
@@ -101,14 +115,116 @@ RUNNERS: dict[str, Callable[[bool], list[FigureResult]]] = {
 }
 
 
+def _load_json(path: str) -> Any:
+    try:
+        return json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ScenarioError(f"cannot read {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"{path!r} is not valid JSON: {exc}") from None
+
+
+def _scenario_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments scenario",
+        description="Run one declarative scenario from a JSON file.",
+    )
+    parser.add_argument("file", help="path to a Scenario JSON document")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the full ScenarioResult as JSON")
+    args = parser.parse_args(argv)
+
+    data = _load_json(args.file)
+    if not isinstance(data, dict):
+        raise ScenarioError(
+            f"a scenario JSON document must be an object, got "
+            f"{type(data).__name__}"
+        )
+    scenario = Scenario.from_dict(data)
+    result = run_scenarios([scenario])[0]
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.render())
+    return 0
+
+
+def _grid_rows(results: Sequence[ScenarioResult]) -> str:
+    headers = ["scenario", "planner", "|plan|", "worst-case",
+               "under failure", "recovered", "max latency", "tentative"]
+    rows: list[list[object]] = []
+    for r in results:
+        n_done = sum(1 for rec in r.recoveries if rec.recovered_time is not None)
+        rows.append([
+            r.scenario.name or r.scenario.workload,
+            r.plan.planner or r.scenario.planner,
+            r.plan.usage,
+            r.worst_case_fidelity,
+            r.failure_fidelity,
+            f"{n_done}/{len(r.recoveries)}",
+            r.max_recovery_latency,
+            r.tentative_sink_batches,
+        ])
+    return format_table(headers, rows, title=f"== grid: {len(results)} scenarios ==")
+
+
+def _grid_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments grid",
+        description="Expand and run a scenario grid from a JSON file.",
+    )
+    parser.add_argument("file", help='path to {"base": ..., "axes": ...} or '
+                                     '{"scenarios": [...]} JSON')
+    parser.add_argument("--workers", type=int, default=None,
+                        help="fan runs out over N worker processes")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print every ScenarioResult as a JSON array")
+    args = parser.parse_args(argv)
+
+    data = _load_json(args.file)
+    if not isinstance(data, dict):
+        raise ScenarioError("a grid JSON document must be an object")
+    if "scenarios" in data:
+        scenarios = [Scenario.from_dict(s) for s in data["scenarios"]]
+    elif "base" in data:
+        base = Scenario.from_dict(data["base"])
+        axes = data.get("axes") or {}
+        scenarios = expand_grid(base, axes) if axes else [base]
+    else:
+        raise ScenarioError(
+            "a grid JSON document needs either 'scenarios' or 'base' (+ 'axes')"
+        )
+    results = run_scenarios(scenarios, workers=args.workers)
+    if args.as_json:
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+    else:
+        print(_grid_rows(results))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if argv and argv[0] == "scenario":
+            return _scenario_main(argv[1:])
+        if argv and argv[0] == "grid":
+            return _grid_main(argv[1:])
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the figures of the PPA paper (ICDE 2016).",
+        description="Regenerate the figures of the PPA paper (ICDE 2016), "
+                    "or run declarative scenarios ('scenario'/'grid' "
+                    "subcommands).",
     )
     parser.add_argument("figures", nargs="+",
                         choices=sorted(RUNNERS) + ["all"],
-                        help="which figures to regenerate")
+                        metavar="figure",
+                        help="figures to regenerate (%(choices)s), or the "
+                             "'scenario'/'grid' subcommands",
+    )
     parser.add_argument("--fast", action="store_true",
                         help="reduced grids/durations for a quick pass")
     args = parser.parse_args(argv)

@@ -14,6 +14,11 @@ Fig. 7 injects a single-task failure (averaged over tasks at different
 depths, as the paper does); Fig. 8 kills every node hosting a synthetic
 task; Fig. 10 repeats the correlated failure under PPA plans replicating
 all / half / none of the tasks.
+
+Every cell executes through the declarative scenario layer
+(:mod:`repro.scenarios`): a technique maps to a planner name plus engine
+overrides, a failure to a :class:`~repro.scenarios.spec.FailureSpec`, and
+:func:`~repro.scenarios.runner.run_scenario` does the rest.
 """
 
 from __future__ import annotations
@@ -23,11 +28,10 @@ import statistics
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.engine.config import EngineConfig, PassiveStrategy
-from repro.engine.engine import StreamEngine
-from repro.experiments.bundles import QueryBundle, fig6_bundle
 from repro.experiments.tables import format_table
+from repro.scenarios import FailureSpec, Scenario, run_scenario
 from repro.topology.operators import TaskId
+from repro.workloads.bundles import QueryBundle, fig6_bundle
 
 #: Default failure-injection time (window filled and every task checkpointed).
 DEFAULT_FAIL_TIME = 45.0
@@ -57,29 +61,47 @@ class Technique:
     kind: TechniqueKind
     interval: float = 0.0  # sync interval (active) or checkpoint interval
 
-    def engine_for(self, bundle: QueryBundle, window_seconds: float) -> StreamEngine:
-        """A fresh engine configured for this technique on ``bundle``."""
+    def planner_name(self) -> str:
+        """The scenario planner implementing this technique's replication."""
+        return "all" if self.kind is TechniqueKind.ACTIVE else "none"
+
+    def engine_overrides(self, window_seconds: float) -> dict[str, object]:
+        """The scenario engine overrides implementing this technique."""
+        overrides: dict[str, object]
         if self.kind is TechniqueKind.ACTIVE:
-            config = EngineConfig(
-                checkpoint_interval=None, sync_interval=self.interval,
-                costs=bundle.costs,
-            )
-            plan = bundle.synthetic_tasks
+            overrides = {"checkpoint_interval": None,
+                         "sync_interval": self.interval}
         elif self.kind is TechniqueKind.CHECKPOINT:
-            config = EngineConfig(
-                checkpoint_interval=self.interval, costs=bundle.costs,
-            )
-            plan = ()
+            overrides = {"checkpoint_interval": self.interval}
         else:
-            config = EngineConfig(
-                checkpoint_interval=None,
-                passive_strategy=PassiveStrategy.SOURCE_REPLAY,
-                costs=bundle.costs,
-            )
-            plan = ()
-        return StreamEngine(
-            bundle.topology, bundle.make_logic(), config, plan=plan,
-            source_replay_window_batches=round(window_seconds),
+            overrides = {"checkpoint_interval": None,
+                         "passive_strategy": "source-replay"}
+        overrides["source_replay_window_batches"] = round(window_seconds)
+        return overrides
+
+    def scenario(self, *, window: float, rate: float, tuple_scale: float,
+                 failure: FailureSpec, duration: float = DEFAULT_DURATION,
+                 planner: str | None = None,
+                 planner_params: dict[str, object] | None = None,
+                 extra_engine: dict[str, object] | None = None) -> Scenario:
+        """One Fig. 6-workload scenario running this technique.
+
+        ``planner``/``planner_params`` override the technique's default plan
+        (used by Fig. 10's PPA-0.5 subtree plans); ``extra_engine`` merges
+        additional engine overrides on top of the technique's.
+        """
+        engine = self.engine_overrides(window)
+        engine.update(extra_engine or {})
+        return Scenario(
+            name=f"{self.label}(win={window:g},rate={rate:g})",
+            workload="synthetic",
+            workload_params={"rate_per_source": rate, "window_seconds": window,
+                             "tuple_scale": tuple_scale},
+            planner=planner if planner is not None else self.planner_name(),
+            planner_params=planner_params or {},
+            engine=engine,
+            failures=(failure,),
+            duration=duration,
         )
 
 
@@ -111,32 +133,25 @@ class FigureResult:
         return table
 
 
-def _run_failure(bundle: QueryBundle, technique: Technique, window: float,
-                 failed_tasks: Sequence[TaskId], *,
-                 fail_time: float = DEFAULT_FAIL_TIME,
-                 duration: float = DEFAULT_DURATION) -> StreamEngine:
-    engine = technique.engine_for(bundle, window)
-    engine.schedule_task_failure(fail_time, failed_tasks)
-    engine.run(duration)
-    return engine
-
-
 def single_failure_latency(technique: Technique, *, window: float, rate: float,
                            positions: Sequence[TaskId] = DEFAULT_POSITIONS,
                            tuple_scale: float = 8.0,
                            fail_time: float = DEFAULT_FAIL_TIME,
                            duration: float = DEFAULT_DURATION) -> float:
     """Mean recovery latency over single-task failures at several depths."""
-    latencies = []
+    latencies: list[float] = []
     for position in positions:
-        bundle = fig6_bundle(rate, window, tuple_scale=tuple_scale)
-        engine = _run_failure(bundle, technique, window, [position],
-                              fail_time=fail_time, duration=duration)
-        values = engine.metrics.recovery_latencies()
-        if not values:
+        failure = FailureSpec("single-task", at=fail_time,
+                              params={"operator": position.operator,
+                                      "index": position.index})
+        result = run_scenario(technique.scenario(
+            window=window, rate=rate, tuple_scale=tuple_scale,
+            failure=failure, duration=duration,
+        ))
+        if not result.recovery_latencies:
             raise RuntimeError(f"{technique.label}: no recovery recorded "
                                f"for {position}")
-        latencies.extend(values)
+        latencies.extend(result.recovery_latencies)
     return statistics.fmean(latencies)
 
 
@@ -145,10 +160,11 @@ def correlated_failure_latency(technique: Technique, *, window: float,
                                fail_time: float = DEFAULT_FAIL_TIME,
                                duration: float = DEFAULT_DURATION) -> float:
     """Time to recover *all* synthetic tasks after a correlated failure."""
-    bundle = fig6_bundle(rate, window, tuple_scale=tuple_scale)
-    engine = _run_failure(bundle, technique, window, bundle.synthetic_tasks,
-                          fail_time=fail_time, duration=duration)
-    value = engine.metrics.max_recovery_latency()
+    result = run_scenario(technique.scenario(
+        window=window, rate=rate, tuple_scale=tuple_scale,
+        failure=FailureSpec("correlated", at=fail_time), duration=duration,
+    ))
+    value = result.max_recovery_latency
     if value is None:
         raise RuntimeError(f"{technique.label}: correlated recovery incomplete")
     return value
@@ -232,26 +248,36 @@ def fig10(rates: Sequence[float] = (1000.0, 2000.0),
             half = half_subtree_plan(bundle)
             row: list[object] = [f"{rate:g}t/s", f"{interval:g}s"]
 
+            engine_overrides = {"checkpoint_interval": interval,
+                                "sync_interval": 5.0,
+                                "tentative_outputs": True}
+            plans: tuple[tuple[str, str, dict[str, object]], ...] = (
+                ("PPA-1.0", "all", {}),
+                ("PPA-0.5", "fixed",
+                 {"tasks": [[t.operator, t.index] for t in sorted(half)]}),
+                ("PPA-0", "none", {}),
+            )
             latencies: dict[str, float] = {}
-            for label, plan in (("PPA-1.0", frozenset(bundle.synthetic_tasks)),
-                                ("PPA-0.5", half),
-                                ("PPA-0", frozenset())):
-                config = EngineConfig(
-                    checkpoint_interval=interval, sync_interval=5.0,
-                    tentative_outputs=True, costs=bundle.costs,
-                )
-                engine = StreamEngine(
-                    bundle.topology, bundle.make_logic(), config, plan=plan,
-                )
-                engine.schedule_task_failure(fail_time, bundle.synthetic_tasks)
-                engine.run(duration)
-                overall = engine.metrics.max_recovery_latency()
+            for label, planner, planner_params in plans:
+                result = run_scenario(Scenario(
+                    name=f"fig10/{label}",
+                    workload="synthetic",
+                    workload_params={"rate_per_source": rate,
+                                     "window_seconds": window,
+                                     "tuple_scale": tuple_scale},
+                    planner=planner, planner_params=planner_params,
+                    engine=engine_overrides,
+                    failures=(FailureSpec("correlated", at=fail_time),),
+                    duration=duration,
+                ))
+                overall = result.max_recovery_latency
                 if overall is None:
                     raise RuntimeError(f"{label}: correlated recovery incomplete")
                 latencies[label] = overall
                 if label == "PPA-0.5":
-                    active_only = engine.metrics.max_recovery_latency(tasks=plan)
-                    latencies["PPA-0.5-active"] = active_only or 0.0
+                    active = [r.latency for r in result.recoveries
+                              if r.task in half and r.latency is not None]
+                    latencies["PPA-0.5-active"] = max(active) if active else 0.0
             row.extend([latencies["PPA-1.0"], latencies["PPA-0.5-active"],
                         latencies["PPA-0.5"], latencies["PPA-0"]])
             rows.append(row)

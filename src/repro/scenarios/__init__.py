@@ -1,0 +1,78 @@
+"""Declarative scenarios: one façade from topology spec to recovery metrics.
+
+Instead of hand-wiring the five-step pipeline (build topology → propagate
+rates → pick planner → construct ``StreamEngine`` → inject failures), you
+describe an experiment as a frozen, JSON-serializable :class:`Scenario` and
+hand it to :func:`run_scenario`:
+
+>>> from repro.scenarios import Scenario, FailureSpec, run_scenario
+>>> scenario = Scenario(
+...     workload="synthetic",
+...     workload_params={"rate_per_source": 200.0, "window_seconds": 5.0,
+...                      "tuple_scale": 16.0},
+...     planner="structure-aware", budget_fraction=0.5,
+...     failures=(FailureSpec("correlated", at=10.0),),
+...     duration=20.0,
+... )
+>>> result = run_scenario(scenario)
+>>> result.all_recovered and 0.0 <= result.worst_case_fidelity <= 1.0
+True
+
+Planners, workloads and failure models are resolved through string-keyed
+registries (:data:`PLANNERS`, :data:`WORKLOADS`, :data:`FAILURE_MODELS`),
+so new entries plug in with a ``register()`` decorator without touching the
+core.  :func:`run_grid` expands parameter grids over a base scenario and
+executes them, optionally fanned out over a process pool.
+"""
+
+from repro.scenarios import catalog as _catalog  # populate the registries
+from repro.scenarios.catalog import (
+    FixedPlanner,
+    NullPlanner,
+    ReplicateAllPlanner,
+    generic_bundle,
+    make_bundle,
+    make_planner,
+)
+from repro.scenarios.failures import synthetic_tasks
+from repro.scenarios.grid import expand_grid, run_grid, run_scenarios
+from repro.scenarios.registry import FAILURE_MODELS, PLANNERS, WORKLOADS, Registry
+from repro.scenarios.runner import (
+    RecoveryOutcome,
+    ScenarioResult,
+    ScenarioRunner,
+    run_scenario,
+)
+from repro.scenarios.spec import (
+    EdgeDef,
+    FailureSpec,
+    OperatorDef,
+    Scenario,
+    TopologyRecipe,
+)
+
+__all__ = [
+    "EdgeDef",
+    "FAILURE_MODELS",
+    "FailureSpec",
+    "FixedPlanner",
+    "NullPlanner",
+    "OperatorDef",
+    "PLANNERS",
+    "RecoveryOutcome",
+    "Registry",
+    "ReplicateAllPlanner",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "TopologyRecipe",
+    "WORKLOADS",
+    "expand_grid",
+    "generic_bundle",
+    "make_bundle",
+    "make_planner",
+    "run_grid",
+    "run_scenario",
+    "run_scenarios",
+    "synthetic_tasks",
+]

@@ -1,0 +1,124 @@
+"""Built-in failure models for the scenario layer.
+
+A failure model turns a :class:`~repro.scenarios.spec.FailureSpec` into the
+concrete set of victim tasks for one topology.  The engine then kills every
+node hosting a victim — matching how Sec. VI injects failures (correlated
+failures kill many worker nodes at once).
+
+Models registered here:
+
+* ``"single-task"`` — one task, by operator name and index;
+* ``"tasks"`` — an explicit task list (``[["O1", 0], ["O2", 1]]``);
+* ``"correlated"`` — every task of the given operators (default: all
+  non-source operators, the paper's worst-case correlated failure);
+* ``"random-k"`` — ``k`` tasks sampled without replacement, deterministic
+  in the seed;
+* ``"unreplicated"`` — every task outside the replication plan (the
+  Fig. 12/13 tentative-quality outage).
+
+New models plug in with ``@FAILURE_MODELS.register("name")``; the callable
+receives ``(topology, plan, *, seed, **params)`` and returns the victim
+tasks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import AbstractSet, Iterable, Sequence
+
+from repro.errors import ScenarioError
+from repro.scenarios.registry import FAILURE_MODELS
+from repro.topology.graph import Topology
+from repro.topology.operators import TaskId
+
+
+def _task_from_param(topology: Topology, value: object) -> TaskId:
+    """Parse ``["O1", 0]`` / ``"O1[0]"`` / ``TaskId`` into a validated TaskId."""
+    if isinstance(value, TaskId):
+        task = value
+    elif isinstance(value, str) and value.endswith("]") and "[" in value:
+        operator, _, index = value[:-1].partition("[")
+        try:
+            task = TaskId(operator, int(index))
+        except ValueError:
+            raise ScenarioError(f"malformed task reference {value!r}") from None
+    elif isinstance(value, Sequence) and not isinstance(value, str) and len(value) == 2:
+        try:
+            task = TaskId(str(value[0]), int(value[1]))
+        except (TypeError, ValueError):
+            raise ScenarioError(f"malformed task reference {value!r}") from None
+    else:
+        raise ScenarioError(
+            f"task references must be [operator, index] pairs or 'Op[i]' "
+            f"strings, got {value!r}"
+        )
+    if task not in topology.tasks():
+        raise ScenarioError(f"failure references unknown task {task}")
+    return task
+
+
+def synthetic_tasks(topology: Topology) -> tuple[TaskId, ...]:
+    """All non-source tasks — the tasks the paper's experiments kill."""
+    return tuple(
+        t for t in topology.tasks()
+        if not topology.operator(t.operator).is_source
+    )
+
+
+@FAILURE_MODELS.register("single-task")
+def single_task(topology: Topology, plan: AbstractSet[TaskId], *, seed: int,
+                operator: str, index: int = 0) -> tuple[TaskId, ...]:
+    """One task of ``operator`` fails (Fig. 7's single-node failure)."""
+    task = TaskId(topology.operator(operator).name, int(index))
+    if task not in topology.tasks():
+        raise ScenarioError(f"failure references unknown task {task}")
+    return (task,)
+
+
+@FAILURE_MODELS.register("tasks")
+def explicit_tasks(topology: Topology, plan: AbstractSet[TaskId], *, seed: int,
+                   tasks: Iterable[object]) -> tuple[TaskId, ...]:
+    """An explicit victim list, each entry ``[operator, index]`` or ``"Op[i]"``."""
+    victims = tuple(_task_from_param(topology, t) for t in tasks)
+    if not victims:
+        raise ScenarioError("'tasks' failure model needs at least one task")
+    return victims
+
+
+@FAILURE_MODELS.register("correlated")
+def correlated(topology: Topology, plan: AbstractSet[TaskId], *, seed: int,
+               operators: Sequence[str] | None = None) -> tuple[TaskId, ...]:
+    """Every task of ``operators`` fails at once (default: all non-sources)."""
+    if operators is None:
+        return synthetic_tasks(topology)
+    victims: list[TaskId] = []
+    for name in operators:
+        victims.extend(topology.tasks_of(name))
+    if not victims:
+        raise ScenarioError("'correlated' failure model selected no tasks")
+    return tuple(victims)
+
+
+@FAILURE_MODELS.register("random-k")
+def random_k(topology: Topology, plan: AbstractSet[TaskId], *, seed: int,
+             k: int, include_sources: bool = False) -> tuple[TaskId, ...]:
+    """``k`` victims drawn without replacement, deterministic in the seed."""
+    eligible = sorted(
+        topology.tasks() if include_sources else synthetic_tasks(topology)
+    )
+    if not 1 <= k <= len(eligible):
+        raise ScenarioError(
+            f"'random-k' needs 1 <= k <= {len(eligible)} eligible tasks, got k={k}"
+        )
+    rng = random.Random(seed)
+    return tuple(sorted(rng.sample(eligible, k)))
+
+
+@FAILURE_MODELS.register("unreplicated")
+def unreplicated(topology: Topology, plan: AbstractSet[TaskId], *, seed: int,
+                 include_sources: bool = False) -> tuple[TaskId, ...]:
+    """Every task outside the plan fails — the worst case the plan defends."""
+    eligible = (
+        topology.tasks() if include_sources else synthetic_tasks(topology)
+    )
+    return tuple(t for t in eligible if t not in plan)

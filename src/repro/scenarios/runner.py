@@ -1,0 +1,320 @@
+"""Execute one declarative scenario end-to-end into a structured result.
+
+:func:`run_scenario` is the single façade the examples, the CLI and the
+figure harness all share: resolve the workload, plan active replication,
+configure the engine, inject the scheduled failures, run, and distil the
+metrics into a :class:`ScenarioResult` (plan with provenance, fidelity
+prediction vs the injected failure, recovery latencies, tentative-output
+counts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.plans import (
+    IC_OBJECTIVE,
+    OF_OBJECTIVE,
+    PlanObjective,
+    ReplicationPlan,
+    budget_from_fraction,
+)
+from repro.engine.config import CostModel, EngineConfig, PassiveStrategy
+from repro.engine.engine import StreamEngine
+from repro.errors import ScenarioError
+from repro.scenarios import catalog
+from repro.scenarios.registry import FAILURE_MODELS
+from repro.scenarios.spec import FailureSpec, Scenario
+from repro.topology.operators import TaskId
+from repro.workloads.bundles import QueryBundle
+
+#: Engine-dict keys that configure the engine constructor, not EngineConfig.
+_ENGINE_EXTRA_KEYS = ("source_replay_window_batches",)
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """One task's recovery as observed by the engine run."""
+
+    task: TaskId
+    mode: str
+    fail_time: float
+    detect_time: float
+    recovered_time: float | None
+
+    @property
+    def latency(self) -> float | None:
+        """Detection-to-catch-up latency (the paper's definition), if finished."""
+        if self.recovered_time is None:
+            return None
+        return self.recovered_time - self.detect_time
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-native representation."""
+        return {"task": str(self.task), "mode": self.mode,
+                "fail_time": self.fail_time, "detect_time": self.detect_time,
+                "recovered_time": self.recovered_time, "latency": self.latency}
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced, ready for tables or JSON."""
+
+    scenario: Scenario
+    plan: ReplicationPlan
+    worst_case_fidelity: float
+    failure_fidelity: float
+    failed_tasks: tuple[TaskId, ...] = ()
+    recoveries: tuple[RecoveryOutcome, ...] = ()
+    batches_processed: int = 0
+    tuples_processed: int = 0
+    checkpoints_taken: int = 0
+    batches_forged: int = 0
+    complete_sink_batches: int = 0
+    tentative_sink_batches: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def recovery_latencies(self) -> tuple[float, ...]:
+        """Latencies of every completed recovery."""
+        return tuple(r.latency for r in self.recoveries if r.latency is not None)
+
+    @property
+    def mean_recovery_latency(self) -> float | None:
+        """Mean completed recovery latency, or None when nothing recovered."""
+        values = self.recovery_latencies
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    @property
+    def max_recovery_latency(self) -> float | None:
+        """Completion time of the slowest recovery (the correlated-failure view)."""
+        values = self.recovery_latencies
+        if not values:
+            return None
+        return max(values)
+
+    @property
+    def all_recovered(self) -> bool:
+        """Whether every detected failure finished recovering."""
+        return all(r.recovered_time is not None for r in self.recoveries)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-native representation of the full result."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "plan": {
+                "planner": self.plan.planner,
+                "budget": self.plan.budget,
+                "replicated": [str(t) for t in sorted(self.plan.replicated)],
+            },
+            "worst_case_fidelity": self.worst_case_fidelity,
+            "failure_fidelity": self.failure_fidelity,
+            "failed_tasks": [str(t) for t in self.failed_tasks],
+            "recoveries": [r.to_dict() for r in self.recoveries],
+            "mean_recovery_latency": self.mean_recovery_latency,
+            "max_recovery_latency": self.max_recovery_latency,
+            "all_recovered": self.all_recovered,
+            "batches_processed": self.batches_processed,
+            "tuples_processed": self.tuples_processed,
+            "checkpoints_taken": self.checkpoints_taken,
+            "batches_forged": self.batches_forged,
+            "complete_sink_batches": self.complete_sink_batches,
+            "tentative_sink_batches": self.tentative_sink_batches,
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (what the CLI prints)."""
+        s = self.scenario
+        label = s.name or s.workload
+        metric = s.objective
+        lines = [f"== ScenarioResult: {label} =="]
+        lines.append(
+            f"workload={s.workload}  planner={self.plan.planner or s.planner}"
+            f"  budget={self.plan.budget}  |plan|={self.plan.usage}"
+        )
+        lines.append(
+            f"worst-case {metric}={self.worst_case_fidelity:.3f}  "
+            f"{metric} under injected failures={self.failure_fidelity:.3f}"
+        )
+        if self.failed_tasks:
+            n_rec = sum(1 for r in self.recoveries if r.recovered_time is not None)
+            mean = self.mean_recovery_latency
+            peak = self.max_recovery_latency
+            lines.append(
+                f"failures: {len(self.failed_tasks)} tasks killed; "
+                f"{n_rec}/{len(self.recoveries)} recoveries finished"
+                + (f", mean {mean:.2f}s, max {peak:.2f}s" if mean is not None else "")
+            )
+        else:
+            lines.append("failures: none injected")
+        lines.append(
+            f"outputs: {self.complete_sink_batches} complete + "
+            f"{self.tentative_sink_batches} tentative sink batches "
+            f"({self.batches_forged} forged punctuations); "
+            f"{self.batches_processed} batches / "
+            f"{self.tuples_processed} tuples processed"
+        )
+        return "\n".join(lines)
+
+
+class ScenarioRunner:
+    """Resolves a :class:`Scenario` against the registries and executes it."""
+
+    def __init__(self, scenario: Scenario):
+        self.scenario = scenario
+
+    # ------------------------------------------------------------------
+    # Resolution steps (each usable on its own for inspection/tests)
+    # ------------------------------------------------------------------
+    def objective(self) -> PlanObjective:
+        """The planning objective the scenario selected."""
+        return OF_OBJECTIVE if self.scenario.objective == "OF" else IC_OBJECTIVE
+
+    def bundle(self) -> QueryBundle:
+        """Resolve the workload registry entry into a query bundle."""
+        params = dict(self.scenario.workload_params)
+        if self.scenario.topology is not None:
+            if self.scenario.workload != "custom":
+                raise ScenarioError(
+                    "a scenario with an explicit topology must use "
+                    f"workload='custom', got {self.scenario.workload!r}"
+                )
+            params.setdefault("recipe", self.scenario.topology)
+        return catalog.make_bundle(self.scenario.workload, **params)
+
+    def resolve_budget(self, bundle: QueryBundle) -> int:
+        """The absolute replication budget for ``bundle``'s topology."""
+        if self.scenario.budget is not None:
+            return self.scenario.budget
+        if self.scenario.budget_fraction is not None:
+            return budget_from_fraction(bundle.topology, self.scenario.budget_fraction)
+        return 0
+
+    def plan(self, bundle: QueryBundle) -> ReplicationPlan:
+        """Run the scenario's planner on the bundle's topology and rates."""
+        planner = catalog.make_planner(
+            self.scenario.planner, self.objective(), **self.scenario.planner_params
+        )
+        return planner.plan(bundle.topology, bundle.rates, self.resolve_budget(bundle))
+
+    def engine_config(self, bundle: QueryBundle) -> EngineConfig:
+        """The engine configuration: scenario overrides on bundle defaults."""
+        overrides = dict(self.scenario.engine)
+        for key in _ENGINE_EXTRA_KEYS:
+            overrides.pop(key, None)
+        cost_overrides = overrides.pop("costs", None)
+        costs = bundle.costs
+        if cost_overrides is not None:
+            try:
+                costs = CostModel(**{**dataclasses.asdict(bundle.costs),
+                                     **dict(cost_overrides)})
+            except TypeError as exc:
+                raise ScenarioError(f"engine costs: {exc}") from None
+        strategy = overrides.pop("passive_strategy", None)
+        if strategy is not None:
+            try:
+                overrides["passive_strategy"] = PassiveStrategy(strategy)
+            except ValueError:
+                choices = ", ".join(repr(s.value) for s in PassiveStrategy)
+                raise ScenarioError(
+                    f"unknown passive_strategy {strategy!r}; one of {choices}"
+                ) from None
+        try:
+            return EngineConfig(costs=costs, **overrides)
+        except TypeError as exc:
+            raise ScenarioError(f"engine config: {exc}") from None
+
+    def victims_of(self, spec: FailureSpec, bundle: QueryBundle,
+                   plan: ReplicationPlan) -> tuple[TaskId, ...]:
+        """Resolve one failure spec into its victim task set."""
+        model = FAILURE_MODELS.get(spec.model)
+        params = dict(spec.params)
+        seed = params.pop("seed", self.scenario.seed)
+        try:
+            return tuple(model(bundle.topology, plan.replicated,
+                               seed=int(seed), **params))
+        except TypeError as exc:
+            raise ScenarioError(f"failure model {spec.model!r}: {exc}") from None
+
+    # ------------------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        """Execute the scenario once and collect the structured result."""
+        scenario = self.scenario
+        bundle = self.bundle()
+        plan = self.plan(bundle)
+        config = self.engine_config(bundle)
+
+        replay_window = scenario.engine.get("source_replay_window_batches")
+        engine_kwargs: dict[str, Any] = {}
+        if replay_window is not None:
+            engine_kwargs["source_replay_window_batches"] = int(replay_window)
+        engine = StreamEngine(bundle.topology, bundle.make_logic(), config,
+                              plan=plan, **engine_kwargs)
+
+        all_victims: list[TaskId] = []
+        seen: set[TaskId] = set()
+        for spec in scenario.failures:
+            if spec.at > scenario.duration:
+                raise ScenarioError(
+                    f"failure at t={spec.at:g}s is after the run ends "
+                    f"(duration {scenario.duration:g}s)"
+                )
+            victims = self.victims_of(spec, bundle, plan)
+            engine.schedule_task_failure(spec.at, victims)
+            for task in victims:
+                if task not in seen:
+                    seen.add(task)
+                    all_victims.append(task)
+
+        engine.run(scenario.duration)
+
+        objective = self.objective()
+        worst_case = objective.plan_value(bundle.topology, bundle.rates,
+                                          plan.replicated)
+        failed_unreplicated = frozenset(all_victims) - plan.replicated
+        failure_value = objective.metric(bundle.topology, bundle.rates,
+                                         failed_unreplicated)
+
+        metrics = engine.metrics
+        return ScenarioResult(
+            scenario=scenario,
+            plan=plan,
+            worst_case_fidelity=worst_case,
+            failure_fidelity=failure_value,
+            failed_tasks=tuple(all_victims),
+            recoveries=tuple(
+                RecoveryOutcome(r.task, r.mode.value, r.fail_time,
+                                r.detect_time, r.recovered_time)
+                for r in metrics.recoveries
+            ),
+            batches_processed=metrics.batches_processed,
+            tuples_processed=metrics.tuples_processed,
+            checkpoints_taken=metrics.checkpoints_taken,
+            batches_forged=metrics.batches_forged,
+            complete_sink_batches=len(metrics.sink_outputs(tentative=False)),
+            tentative_sink_batches=len(metrics.sink_outputs(tentative=True)),
+        )
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Execute ``scenario`` end-to-end (the one-call façade).
+
+    >>> from repro.scenarios import Scenario, FailureSpec, run_scenario
+    >>> result = run_scenario(Scenario(
+    ...     workload="synthetic",
+    ...     workload_params={"rate_per_source": 200.0, "window_seconds": 5.0,
+    ...                      "tuple_scale": 16.0},
+    ...     planner="greedy", budget_fraction=0.5,
+    ...     failures=(FailureSpec("single-task", at=10.0,
+    ...                           params={"operator": "O2"}),),
+    ...     duration=20.0,
+    ... ))
+    >>> 0.0 <= result.worst_case_fidelity <= 1.0 and result.all_recovered
+    True
+    """
+    return ScenarioRunner(scenario).run()

@@ -1,5 +1,17 @@
-"""Workload generators: synthetic rates, WorldCup-like log, traffic streams."""
+"""Workload generators and ready-to-run query bundles.
 
+Raw generators (synthetic rates, WorldCup-like log, traffic streams) plus
+the :class:`~repro.workloads.bundles.QueryBundle` packages of the paper's
+evaluation workloads (Fig. 6 synthetic, Q1 top-k, Q2 incidents).
+"""
+
+from repro.workloads.bundles import (
+    QueryBundle,
+    calibrated_costs,
+    fig6_bundle,
+    q1_bundle,
+    q2_bundle,
+)
 from repro.workloads.sources import UniformRateSource
 from repro.workloads.traffic import (
     Incident,
@@ -14,10 +26,15 @@ __all__ = [
     "Incident",
     "IncidentReportSource",
     "IncidentSchedule",
+    "QueryBundle",
     "UniformRateSource",
     "UserLocationSource",
     "WorldCupAccessLog",
     "batch_rng",
+    "calibrated_costs",
+    "fig6_bundle",
+    "q1_bundle",
+    "q2_bundle",
     "sample_zipf",
     "zipf_probabilities",
 ]

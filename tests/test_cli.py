@@ -1,8 +1,34 @@
-"""Tests for the experiments CLI (parsing and runner registry)."""
+"""Tests for the experiments CLI (figures, scenario and grid subcommands)."""
+
+import json
 
 import pytest
 
 from repro.experiments.cli import RUNNERS, main
+
+
+def tiny_scenario_dict() -> dict:
+    return {
+        "name": "cli-tiny",
+        "workload": "custom",
+        "topology": {
+            "operators": [
+                {"name": "S", "parallelism": 2, "kind": "source"},
+                {"name": "A", "parallelism": 2, "selectivity": 0.5},
+                {"name": "B", "parallelism": 1, "selectivity": 0.5},
+            ],
+            "edges": [
+                {"upstream": "S", "downstream": "A", "pattern": "one-to-one"},
+                {"upstream": "A", "downstream": "B", "pattern": "merge"},
+            ],
+        },
+        "workload_params": {"source_rate": 20.0, "window_seconds": 5.0},
+        "planner": "greedy",
+        "budget": 2,
+        "engine": {"checkpoint_interval": 5.0},
+        "failures": [{"model": "correlated", "at": 8.0}],
+        "duration": 16.0,
+    }
 
 
 class TestRunnerRegistry:
@@ -32,3 +58,63 @@ class TestArgumentParsing:
         out = capsys.readouterr().out
         assert "Headline claims" in out
         assert "claims done" in out
+
+
+class TestScenarioSubcommand:
+    def test_runs_correlated_scenario_from_json_file(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(tiny_scenario_dict()))
+        assert main(["scenario", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ScenarioResult: cli-tiny" in out
+        assert "tasks killed" in out
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(tiny_scenario_dict()))
+        assert main(["scenario", str(path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"]["name"] == "cli-tiny"
+        assert data["all_recovered"] is True
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        assert main(["scenario", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_array_document_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "array.json"
+        path.write_text(json.dumps([tiny_scenario_dict()]))
+        assert main(["scenario", str(path)]) == 2
+        assert "must be an object" in capsys.readouterr().err
+
+    def test_malformed_scenario_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"planner": "bogus-planner",
+                                    "duration": 5.0}))
+        assert main(["scenario", str(path)]) == 2
+        assert "unknown planner" in capsys.readouterr().err
+
+
+class TestGridSubcommand:
+    def test_expands_base_and_axes(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({
+            "base": tiny_scenario_dict(),
+            "axes": {"planner": ["none", "greedy"], "budget": [1, 2]},
+        }))
+        assert main(["grid", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "grid: 4 scenarios" in out
+
+    def test_explicit_scenario_list(self, tmp_path, capsys):
+        spec = tiny_scenario_dict()
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({"scenarios": [spec, spec]}))
+        assert main(["grid", str(path), "--workers", "2"]) == 0
+        assert "grid: 2 scenarios" in capsys.readouterr().out
+
+    def test_document_without_base_rejected(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({"axes": {"budget": [1]}}))
+        assert main(["grid", str(path)]) == 2
+        assert "'scenarios' or 'base'" in capsys.readouterr().err

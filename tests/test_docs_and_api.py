@@ -8,12 +8,13 @@ import repro.core
 import repro.engine
 import repro.experiments
 import repro.queries
+import repro.scenarios
 import repro.topology
 import repro.workloads
 
 
 PACKAGES = [repro, repro.core, repro.engine, repro.experiments,
-            repro.queries, repro.topology, repro.workloads]
+            repro.queries, repro.scenarios, repro.topology, repro.workloads]
 
 
 class TestApiSurface:
