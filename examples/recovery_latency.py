@@ -7,10 +7,13 @@ vector — the paper's recovery-latency definition.
 
 Each cell is one declarative scenario: the technique maps to a planner name
 ("all" or "none") plus engine overrides, the failure to a FailureSpec, and
-`repro.run_scenarios` executes the whole sweep.
+`repro.run_scenarios` fans the whole sweep out over a process pool — the
+engine is deterministic, so the results match a serial run exactly.
 
 Run:  python examples/recovery_latency.py
 """
+
+import sys
 
 from repro import FailureSpec, run_scenarios
 from repro.experiments.recovery import DEFAULT_TECHNIQUES
@@ -31,7 +34,10 @@ def main():
         for technique in DEFAULT_TECHNIQUES
         for failure in (single, correlated)
     ]
-    results = run_scenarios(scenarios)
+    results = run_scenarios(
+        scenarios, backend="processes",
+        progress=lambda event: print(event.render(), file=sys.stderr),
+    )
 
     print(f"{'technique':>15} | {'single failure':>14} | {'correlated':>10}")
     print("-" * 47)

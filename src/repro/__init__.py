@@ -65,20 +65,33 @@ from repro.errors import (
     WorkloadError,
 )
 from repro.scenarios import (
+    EXECUTION_BACKENDS,
     FAILURE_MODELS,
     PLANNERS,
+    RESULT_SINKS,
     WORKLOADS,
+    CellError,
     EdgeDef,
+    ExecutionBackend,
     FailureSpec,
+    GridReport,
+    GridSession,
+    JsonlSink,
+    MemorySink,
     OperatorDef,
+    ProgressEvent,
+    ResultSink,
     Scenario,
+    ScenarioCache,
     ScenarioResult,
     ScenarioRunner,
+    SqliteSink,
     TopologyRecipe,
     expand_grid,
     run_grid,
     run_scenario,
     run_scenarios,
+    scenario_digest,
 )
 from repro.topology import (
     OperatorKind,
@@ -104,15 +117,22 @@ __version__ = "1.1.0"
 
 __all__ = [
     "BruteForcePlanner",
+    "CellError",
     "DynamicProgrammingPlanner",
+    "EXECUTION_BACKENDS",
     "EdgeDef",
+    "ExecutionBackend",
     "ExperimentError",
     "FAILURE_MODELS",
     "FailureSpec",
     "FullTopologyPlanner",
     "GreedyPlanner",
+    "GridReport",
+    "GridSession",
     "IC_OBJECTIVE",
+    "JsonlSink",
     "MCTreeExplosionError",
+    "MemorySink",
     "OF_OBJECTIVE",
     "OperatorDef",
     "OperatorKind",
@@ -122,15 +142,20 @@ __all__ = [
     "PlanObjective",
     "Planner",
     "PlanningError",
+    "ProgressEvent",
+    "RESULT_SINKS",
     "RateError",
     "ReplicationPlan",
     "ReproError",
+    "ResultSink",
     "Scenario",
+    "ScenarioCache",
     "ScenarioError",
     "ScenarioResult",
     "ScenarioRunner",
     "SimulationError",
     "SourceRates",
+    "SqliteSink",
     "StreamEdge",
     "StreamRates",
     "StructureAwarePlanner",
@@ -157,6 +182,7 @@ __all__ = [
     "run_grid",
     "run_scenario",
     "run_scenarios",
+    "scenario_digest",
     "uniform_source_rates",
     "worst_case_completeness",
     "worst_case_fidelity",

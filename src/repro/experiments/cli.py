@@ -5,7 +5,8 @@ Usage::
     python -m repro.experiments fig7 fig9 --fast
     python -m repro.experiments all
     python -m repro.experiments scenario my_scenario.json
-    python -m repro.experiments grid my_grid.json --workers 4
+    python -m repro.experiments grid my_grid.json --backend processes \
+        --output results.jsonl --cache-dir ~/.cache/repro-grid --resume
 
 (Installed as the ``repro-experiments`` console script as well.)
 
@@ -15,7 +16,12 @@ suite completes in a couple of minutes; omit it for the paper-scale runs.
 ``scenario`` runs one JSON scenario file (see
 :class:`repro.scenarios.Scenario`); ``grid`` expands a JSON document of the
 form ``{"base": {...scenario...}, "axes": {"field": [v1, v2], ...}}`` — or an
-explicit ``{"scenarios": [...]}`` list — and executes every combination.
+explicit ``{"scenarios": [...]}`` list — and executes every combination
+through the pluggable grid-execution layer: ``--backend`` picks the
+execution strategy (serial / threads / processes), ``--output`` streams
+outcomes into a JSONL or SQLite sink, ``--cache-dir`` enables the
+content-addressed scenario cache and ``--resume`` skips cells the output
+file already holds, so interrupted sweeps pick up where they stopped.
 """
 
 from __future__ import annotations
@@ -40,7 +46,16 @@ from repro.experiments.recovery import (
     fig10,
 )
 from repro.experiments.tables import format_table
-from repro.scenarios import Scenario, ScenarioResult, expand_grid, run_scenarios
+from repro.scenarios import (
+    EXECUTION_BACKENDS,
+    GridSession,
+    Scenario,
+    ScenarioCache,
+    ScenarioResult,
+    expand_grid,
+    run_scenario,
+    sink_for_path,
+)
 from repro.topology.operators import TaskId
 from repro.workloads.bundles import q1_bundle, q2_bundle
 
@@ -141,7 +156,7 @@ def _scenario_main(argv: Sequence[str]) -> int:
             f"{type(data).__name__}"
         )
     scenario = Scenario.from_dict(data)
-    result = run_scenarios([scenario])[0]
+    result = run_scenario(scenario)
     if args.as_json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -171,14 +186,38 @@ def _grid_rows(results: Sequence[ScenarioResult]) -> str:
 def _grid_main(argv: Sequence[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments grid",
-        description="Expand and run a scenario grid from a JSON file.",
+        description="Expand and run a scenario grid from a JSON file "
+                    "through a pluggable execution backend, result sink "
+                    "and scenario cache.",
     )
     parser.add_argument("file", help='path to {"base": ..., "axes": ...} or '
                                      '{"scenarios": [...]} JSON')
+    parser.add_argument("--backend", default="serial",
+                        choices=sorted(EXECUTION_BACKENDS.names()),
+                        help="execution strategy (default: serial)")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="pool width for the threads/processes backends")
     parser.add_argument("--workers", type=int, default=None,
-                        help="fan runs out over N worker processes")
+                        help="deprecated: like --backend processes "
+                             "--max-workers N")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="stream outcomes into a .jsonl or .sqlite file "
+                             "instead of keeping them in memory")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip cells already present in --output")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed scenario cache directory; "
+                             "already-simulated cells are loaded, not re-run")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-scenario wall-clock budget in seconds")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="retries per cell after a worker death "
+                             "(processes backend; default 1)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print one progress line per completed cell "
+                             "to stderr")
     parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="print every ScenarioResult as a JSON array")
+                        help="print every outcome as a JSON array")
     args = parser.parse_args(argv)
 
     data = _load_json(args.file)
@@ -194,12 +233,61 @@ def _grid_main(argv: Sequence[str]) -> int:
         raise ScenarioError(
             "a grid JSON document needs either 'scenarios' or 'base' (+ 'axes')"
         )
-    results = run_scenarios(scenarios, workers=args.workers)
+
+    backend_name, max_workers = args.backend, args.max_workers
+    if args.workers is not None:
+        print("note: --workers is deprecated; use --backend processes "
+              "[--max-workers N]", file=sys.stderr)
+        if backend_name == "serial":
+            backend_name = "processes"
+        if max_workers is None:
+            max_workers = args.workers
+    factory = EXECUTION_BACKENDS.get(backend_name)
+    if max_workers is None:
+        backend = factory()
+    else:
+        try:
+            backend = factory(max_workers=max_workers)
+        except TypeError:
+            raise ScenarioError(
+                f"backend {backend_name!r} does not take --max-workers"
+            ) from None
+
+    if args.resume and not args.output:
+        raise ScenarioError("--resume needs --output (a file to resume from)")
+    sink = sink_for_path(args.output) if args.output else None
+    cache = ScenarioCache(args.cache_dir) if args.cache_dir else None
+    progress = None
+    if args.progress:
+        def progress(event):  # noqa: ANN001 - ProgressEvent
+            print(event.render(), file=sys.stderr)
+
+    session = GridSession(backend, sink, cache, timeout=args.timeout,
+                          retries=args.retries, progress=progress,
+                          resume=args.resume, strict=False)
+    report = session.run(scenarios)
+
+    results = report.results()
+    errors = report.cell_errors()
     if args.as_json:
-        print(json.dumps([r.to_dict() for r in results], indent=2))
+        rows: list[dict] = []
+        for outcome in report.outcomes:
+            if isinstance(outcome, ScenarioResult):
+                rows.append(outcome.to_dict())
+            else:
+                rows.append({"error": outcome.to_dict()})
+        print(json.dumps(rows, indent=2))
     else:
         print(_grid_rows(results))
-    return 0
+    summary = (f"[grid] {report.total} cells: {report.executed} executed, "
+               f"{report.cache_hits} cache hits, {report.deduped} deduped, "
+               f"{report.resumed} resumed, {report.errors} errors")
+    if args.output:
+        summary += f" -> {args.output}"
+    print(summary, file=sys.stderr)
+    for error in errors:
+        print(f"error: {error.render()}", file=sys.stderr)
+    return 1 if errors else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -17,8 +17,12 @@ all / half / none of the tasks.
 
 Every cell executes through the declarative scenario layer
 (:mod:`repro.scenarios`): a technique maps to a planner name plus engine
-overrides, a failure to a :class:`~repro.scenarios.spec.FailureSpec`, and
-:func:`~repro.scenarios.runner.run_scenario` does the rest.
+overrides, a failure to a :class:`~repro.scenarios.spec.FailureSpec`.  Each
+figure builds its full cell grid up front and hands it to
+:func:`~repro.scenarios.grid.run_scenarios` in one batch, so the whole
+figure can fan out over an execution ``backend`` (``"processes"`` for
+paper-scale runs) and reuse a content-addressed ``cache`` across re-runs —
+re-anchoring a figure that was already simulated costs almost nothing.
 """
 
 from __future__ import annotations
@@ -29,7 +33,9 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.experiments.tables import format_table
-from repro.scenarios import FailureSpec, Scenario, run_scenario
+from repro.scenarios import FailureSpec, Scenario, run_scenarios
+from repro.scenarios.backends import ExecutionBackend
+from repro.scenarios.cache import ScenarioCache
 from repro.topology.operators import TaskId
 from repro.workloads.bundles import QueryBundle, fig6_bundle
 
@@ -133,21 +139,38 @@ class FigureResult:
         return table
 
 
-def single_failure_latency(technique: Technique, *, window: float, rate: float,
-                           positions: Sequence[TaskId] = DEFAULT_POSITIONS,
-                           tuple_scale: float = 8.0,
-                           fail_time: float = DEFAULT_FAIL_TIME,
-                           duration: float = DEFAULT_DURATION) -> float:
-    """Mean recovery latency over single-task failures at several depths."""
-    latencies: list[float] = []
+def _single_failure_scenarios(technique: Technique, *, window: float,
+                              rate: float, positions: Sequence[TaskId],
+                              tuple_scale: float, fail_time: float,
+                              duration: float) -> list[Scenario]:
+    """One scenario per failed-task position for this technique."""
+    scenarios = []
     for position in positions:
         failure = FailureSpec("single-task", at=fail_time,
                               params={"operator": position.operator,
                                       "index": position.index})
-        result = run_scenario(technique.scenario(
+        scenarios.append(technique.scenario(
             window=window, rate=rate, tuple_scale=tuple_scale,
             failure=failure, duration=duration,
         ))
+    return scenarios
+
+
+def single_failure_latency(technique: Technique, *, window: float, rate: float,
+                           positions: Sequence[TaskId] = DEFAULT_POSITIONS,
+                           tuple_scale: float = 8.0,
+                           fail_time: float = DEFAULT_FAIL_TIME,
+                           duration: float = DEFAULT_DURATION,
+                           backend: "str | ExecutionBackend | None" = None,
+                           cache: ScenarioCache | None = None) -> float:
+    """Mean recovery latency over single-task failures at several depths."""
+    scenarios = _single_failure_scenarios(
+        technique, window=window, rate=rate, positions=positions,
+        tuple_scale=tuple_scale, fail_time=fail_time, duration=duration)
+    latencies: list[float] = []
+    for position, result in zip(positions,
+                                run_scenarios(scenarios, backend=backend,
+                                              cache=cache)):
         if not result.recovery_latencies:
             raise RuntimeError(f"{technique.label}: no recovery recorded "
                                f"for {position}")
@@ -158,12 +181,15 @@ def single_failure_latency(technique: Technique, *, window: float, rate: float,
 def correlated_failure_latency(technique: Technique, *, window: float,
                                rate: float, tuple_scale: float = 8.0,
                                fail_time: float = DEFAULT_FAIL_TIME,
-                               duration: float = DEFAULT_DURATION) -> float:
+                               duration: float = DEFAULT_DURATION,
+                               backend: "str | ExecutionBackend | None" = None,
+                               cache: ScenarioCache | None = None) -> float:
     """Time to recover *all* synthetic tasks after a correlated failure."""
-    result = run_scenario(technique.scenario(
+    scenario = technique.scenario(
         window=window, rate=rate, tuple_scale=tuple_scale,
         failure=FailureSpec("correlated", at=fail_time), duration=duration,
-    ))
+    )
+    result = run_scenarios([scenario], backend=backend, cache=cache)[0]
     value = result.max_recovery_latency
     if value is None:
         raise RuntimeError(f"{technique.label}: correlated recovery incomplete")
@@ -174,18 +200,44 @@ def fig7(windows: Sequence[float] = (10.0, 30.0),
          rates: Sequence[float] = (1000.0, 2000.0),
          techniques: Sequence[Technique] = DEFAULT_TECHNIQUES,
          positions: Sequence[TaskId] = DEFAULT_POSITIONS,
-         tuple_scale: float = 8.0) -> FigureResult:
-    """Fig. 7: recovery latency of single-node failure."""
+         tuple_scale: float = 8.0,
+         backend: "str | ExecutionBackend | None" = None,
+         cache: ScenarioCache | None = None) -> FigureResult:
+    """Fig. 7: recovery latency of single-node failure.
+
+    Builds the full (window × rate × technique × position) cell grid and
+    executes it in one batch, so ``backend="processes"`` parallelises the
+    whole figure and ``cache`` makes re-runs near-free.
+    """
+    cells: list[tuple[float, float, str]] = []
+    scenarios: list[Scenario] = []
+    for window in windows:
+        for rate in rates:
+            for technique in techniques:
+                for scenario in _single_failure_scenarios(
+                        technique, window=window, rate=rate,
+                        positions=positions, tuple_scale=tuple_scale,
+                        fail_time=DEFAULT_FAIL_TIME,
+                        duration=DEFAULT_DURATION):
+                    cells.append((window, rate, technique.label))
+                    scenarios.append(scenario)
+    results = run_scenarios(scenarios, backend=backend, cache=cache)
+
+    latencies: dict[tuple[float, float, str], list[float]] = {}
+    for (window, rate, label), result in zip(cells, results):
+        if not result.recovery_latencies:
+            raise RuntimeError(f"{label}: no recovery recorded for "
+                               f"{result.scenario.name}")
+        latencies.setdefault((window, rate, label), []).extend(
+            result.recovery_latencies)
+
     headers = ["window", "rate"] + [t.label for t in techniques]
     rows: list[list[object]] = []
     for window in windows:
         for rate in rates:
             row: list[object] = [f"{window:g}s", f"{rate:g}t/s"]
-            for technique in techniques:
-                row.append(single_failure_latency(
-                    technique, window=window, rate=rate, positions=positions,
-                    tuple_scale=tuple_scale,
-                ))
+            row.extend(statistics.fmean(latencies[(window, rate, t.label)])
+                       for t in techniques)
             rows.append(row)
     return FigureResult(
         "Fig. 7: single-node failure recovery latency (s)", headers, rows,
@@ -196,17 +248,37 @@ def fig7(windows: Sequence[float] = (10.0, 30.0),
 def fig8(windows: Sequence[float] = (10.0, 30.0),
          rates: Sequence[float] = (1000.0, 2000.0),
          techniques: Sequence[Technique] = DEFAULT_TECHNIQUES,
-         tuple_scale: float = 8.0) -> FigureResult:
-    """Fig. 8: recovery latency of a correlated failure (all 15 tasks)."""
+         tuple_scale: float = 8.0,
+         backend: "str | ExecutionBackend | None" = None,
+         cache: ScenarioCache | None = None) -> FigureResult:
+    """Fig. 8: recovery latency of a correlated failure (all 15 tasks).
+
+    One scenario per (window × rate × technique) cell, executed as a single
+    batch through the pluggable grid-execution layer.
+    """
+    scenarios: list[Scenario] = []
+    for window in windows:
+        for rate in rates:
+            for technique in techniques:
+                scenarios.append(technique.scenario(
+                    window=window, rate=rate, tuple_scale=tuple_scale,
+                    failure=FailureSpec("correlated", at=DEFAULT_FAIL_TIME),
+                    duration=DEFAULT_DURATION,
+                ))
+    results = iter(run_scenarios(scenarios, backend=backend, cache=cache))
+
     headers = ["window", "rate"] + [t.label for t in techniques]
     rows: list[list[object]] = []
     for window in windows:
         for rate in rates:
             row: list[object] = [f"{window:g}s", f"{rate:g}t/s"]
             for technique in techniques:
-                row.append(correlated_failure_latency(
-                    technique, window=window, rate=rate, tuple_scale=tuple_scale,
-                ))
+                result = next(results)
+                value = result.max_recovery_latency
+                if value is None:
+                    raise RuntimeError(
+                        f"{technique.label}: correlated recovery incomplete")
+                row.append(value)
             rows.append(row)
     return FigureResult(
         "Fig. 8: correlated failure recovery latency (s)", headers, rows,
@@ -231,36 +303,38 @@ def fig10(rates: Sequence[float] = (1000.0, 2000.0),
           checkpoint_intervals: Sequence[float] = (5.0, 15.0, 30.0),
           window: float = 30.0, tuple_scale: float = 8.0,
           fail_time: float = DEFAULT_FAIL_TIME,
-          duration: float = DEFAULT_DURATION) -> FigureResult:
+          duration: float = DEFAULT_DURATION,
+          backend: "str | ExecutionBackend | None" = None,
+          cache: ScenarioCache | None = None) -> FigureResult:
     """Fig. 10: correlated-failure recovery latency under PPA plans.
 
     PPA-1.0 replicates all 15 synthetic tasks, PPA-0.5 half of them (one
     complete subtree), PPA-0 none; ``PPA-0.5-active`` is the recovery
     completion of just the actively replicated tasks within the PPA-0.5 run
-    (the moment tentative output can resume).
+    (the moment tentative output can resume).  All (rate × interval × plan)
+    cells run as one batch through the grid-execution layer.
     """
-    headers = ["rate", "ckpt interval",
-               "PPA-1.0", "PPA-0.5-active", "PPA-0.5", "PPA-0"]
-    rows: list[list[object]] = []
+    bundle = fig6_bundle(rates[0] if rates else 1000.0, window,
+                         tuple_scale=tuple_scale)
+    half = half_subtree_plan(bundle)
+    plans: tuple[tuple[str, str, dict[str, object]], ...] = (
+        ("PPA-1.0", "all", {}),
+        ("PPA-0.5", "fixed",
+         {"tasks": [[t.operator, t.index] for t in sorted(half)]}),
+        ("PPA-0", "none", {}),
+    )
+
+    cells: list[tuple[float, float, str]] = []
+    scenarios: list[Scenario] = []
     for rate in rates:
         for interval in checkpoint_intervals:
-            bundle = fig6_bundle(rate, window, tuple_scale=tuple_scale)
-            half = half_subtree_plan(bundle)
-            row: list[object] = [f"{rate:g}t/s", f"{interval:g}s"]
-
             engine_overrides = {"checkpoint_interval": interval,
                                 "sync_interval": 5.0,
                                 "tentative_outputs": True}
-            plans: tuple[tuple[str, str, dict[str, object]], ...] = (
-                ("PPA-1.0", "all", {}),
-                ("PPA-0.5", "fixed",
-                 {"tasks": [[t.operator, t.index] for t in sorted(half)]}),
-                ("PPA-0", "none", {}),
-            )
-            latencies: dict[str, float] = {}
             for label, planner, planner_params in plans:
-                result = run_scenario(Scenario(
-                    name=f"fig10/{label}",
+                cells.append((rate, interval, label))
+                scenarios.append(Scenario(
+                    name=f"fig10/{label}(rate={rate:g},ckpt={interval:g})",
                     workload="synthetic",
                     workload_params={"rate_per_source": rate,
                                      "window_seconds": window,
@@ -270,17 +344,32 @@ def fig10(rates: Sequence[float] = (1000.0, 2000.0),
                     failures=(FailureSpec("correlated", at=fail_time),),
                     duration=duration,
                 ))
-                overall = result.max_recovery_latency
-                if overall is None:
-                    raise RuntimeError(f"{label}: correlated recovery incomplete")
-                latencies[label] = overall
-                if label == "PPA-0.5":
-                    active = [r.latency for r in result.recoveries
-                              if r.task in half and r.latency is not None]
-                    latencies["PPA-0.5-active"] = max(active) if active else 0.0
-            row.extend([latencies["PPA-1.0"], latencies["PPA-0.5-active"],
-                        latencies["PPA-0.5"], latencies["PPA-0"]])
-            rows.append(row)
+    results = run_scenarios(scenarios, backend=backend, cache=cache)
+
+    latencies: dict[tuple[float, float, str], float] = {}
+    for (rate, interval, label), result in zip(cells, results):
+        overall = result.max_recovery_latency
+        if overall is None:
+            raise RuntimeError(f"{label}: correlated recovery incomplete")
+        latencies[(rate, interval, label)] = overall
+        if label == "PPA-0.5":
+            active = [r.latency for r in result.recoveries
+                      if r.task in half and r.latency is not None]
+            latencies[(rate, interval, "PPA-0.5-active")] = (
+                max(active) if active else 0.0)
+
+    headers = ["rate", "ckpt interval",
+               "PPA-1.0", "PPA-0.5-active", "PPA-0.5", "PPA-0"]
+    rows: list[list[object]] = []
+    for rate in rates:
+        for interval in checkpoint_intervals:
+            rows.append([
+                f"{rate:g}t/s", f"{interval:g}s",
+                latencies[(rate, interval, "PPA-1.0")],
+                latencies[(rate, interval, "PPA-0.5-active")],
+                latencies[(rate, interval, "PPA-0.5")],
+                latencies[(rate, interval, "PPA-0")],
+            ])
     return FigureResult(
         f"Fig. 10: PPA recovery latency, correlated failure (window {window:g}s)",
         headers, rows,

@@ -18,14 +18,44 @@ hand it to :func:`run_scenario`:
 >>> result.all_recovered and 0.0 <= result.worst_case_fidelity <= 1.0
 True
 
-Planners, workloads and failure models are resolved through string-keyed
-registries (:data:`PLANNERS`, :data:`WORKLOADS`, :data:`FAILURE_MODELS`),
-so new entries plug in with a ``register()`` decorator without touching the
-core.  :func:`run_grid` expands parameter grids over a base scenario and
-executes them, optionally fanned out over a process pool.
+Everything is resolved through string-keyed registries, so new entries plug
+in with a ``register()`` decorator without touching the core:
+
+* :data:`PLANNERS`, :data:`WORKLOADS`, :data:`FAILURE_MODELS` — what to
+  plan, run and break;
+* :data:`EXECUTION_BACKENDS` — how grids execute (``"serial"``,
+  ``"threads"``, ``"processes"`` with work stealing, per-scenario timeouts
+  and retry-on-worker-death);
+* :data:`RESULT_SINKS` — where outcomes go (``"memory"``, ``"jsonl"``,
+  ``"sqlite"``), streamed incrementally so huge grids never materialise one
+  giant list.
+
+:func:`run_grid` expands parameter grids over a base scenario and executes
+them through a :class:`GridSession`, which can also consult a
+content-addressed :class:`ScenarioCache` (keyed on the SHA-256 digest of
+``Scenario.to_dict()``) so repeated cells are never simulated twice:
+
+>>> from repro.scenarios import run_grid
+>>> results = run_grid(scenario, {"budget_fraction": [0.0, 0.5]},
+...                    backend="serial")
+>>> len(results)
+2
+
+``ScenarioResult.to_dict()``/``from_dict()`` round-trip losslessly — sinks
+and the cache reload persisted results bit-for-bit.
 """
 
 from repro.scenarios import catalog as _catalog  # populate the registries
+from repro.scenarios.backends import (
+    EXECUTION_BACKENDS,
+    CellError,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+from repro.scenarios.cache import ScenarioCache, scenario_digest
 from repro.scenarios.catalog import (
     FixedPlanner,
     NullPlanner,
@@ -43,6 +73,16 @@ from repro.scenarios.runner import (
     ScenarioRunner,
     run_scenario,
 )
+from repro.scenarios.session import GridReport, GridSession, ProgressEvent
+from repro.scenarios.sinks import (
+    RESULT_SINKS,
+    JsonlSink,
+    MemorySink,
+    ResultSink,
+    SqliteSink,
+    resolve_sink,
+    sink_for_path,
+)
 from repro.scenarios.spec import (
     EdgeDef,
     FailureSpec,
@@ -52,27 +92,46 @@ from repro.scenarios.spec import (
 )
 
 __all__ = [
+    "CellError",
+    "EXECUTION_BACKENDS",
     "EdgeDef",
+    "ExecutionBackend",
     "FAILURE_MODELS",
     "FailureSpec",
     "FixedPlanner",
+    "GridReport",
+    "GridSession",
+    "JsonlSink",
+    "MemorySink",
     "NullPlanner",
     "OperatorDef",
     "PLANNERS",
+    "ProcessBackend",
+    "ProgressEvent",
+    "RESULT_SINKS",
     "RecoveryOutcome",
     "Registry",
     "ReplicateAllPlanner",
+    "ResultSink",
     "Scenario",
+    "ScenarioCache",
     "ScenarioResult",
     "ScenarioRunner",
+    "SerialBackend",
+    "SqliteSink",
+    "ThreadBackend",
     "TopologyRecipe",
     "WORKLOADS",
     "expand_grid",
     "generic_bundle",
     "make_bundle",
     "make_planner",
+    "resolve_backend",
+    "resolve_sink",
     "run_grid",
     "run_scenario",
     "run_scenarios",
+    "scenario_digest",
+    "sink_for_path",
     "synthetic_tasks",
 ]

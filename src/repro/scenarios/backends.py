@@ -1,0 +1,363 @@
+"""Pluggable execution backends for grid runs.
+
+An :class:`ExecutionBackend` takes a list of scenarios plus a runner
+callable and yields ``(index, outcome)`` pairs, where an outcome is either a
+:class:`~repro.scenarios.runner.ScenarioResult` or a structured
+:class:`CellError` — per-cell failures never crash the whole grid.  Pairs
+may arrive in any order (parallel backends yield in completion order, like
+``as_completed``); :class:`~repro.scenarios.session.GridSession` reorders
+them before results reach a sink, so every backend produces byte-identical
+output.
+
+Backends are registry-backed like planners and workloads
+(:data:`EXECUTION_BACKENDS`): ``"serial"`` runs in-process, ``"threads"``
+fans out over a thread pool, and ``"processes"`` over a
+``ProcessPoolExecutor`` with work stealing (a sliding submission window —
+each free worker picks up the next pending cell), per-scenario timeouts and
+retry-once semantics when a worker process dies.
+
+Timeout semantics differ by necessity: the serial backend cannot preempt a
+cell, so it flags the overrun after the fact; the pool backends abandon the
+cell and replace the pool so remaining cells keep full parallelism — the
+processes backend force-kills the stuck workers, while an abandoned thread
+(unkillable) runs on to completion with its result discarded.  Unaffected
+in-flight cells are resubmitted on the fresh pool.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.errors import ScenarioError
+from repro.scenarios.registry import Registry
+from repro.scenarios.runner import ScenarioResult, run_scenario
+from repro.scenarios.spec import Scenario, _check_keys
+
+#: A scenario runner: maps one scenario to its result (picklable for
+#: the processes backend; :func:`~repro.scenarios.runner.run_scenario`
+#: is the default).
+Runner = Callable[[Scenario], ScenarioResult]
+
+
+@dataclass(frozen=True)
+class CellError:
+    """One grid cell that did not produce a result.
+
+    ``kind`` is ``"error"`` (the runner raised), ``"timeout"`` (the cell
+    exceeded the per-scenario deadline) or ``"worker-death"`` (the worker
+    process died — e.g. OOM-killed — and the retry budget is exhausted).
+    """
+
+    scenario: Scenario
+    kind: str
+    message: str
+    attempts: int = 1
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-native representation (sinks persist error rows too)."""
+        return {"scenario": self.scenario.to_dict(), "kind": self.kind,
+                "message": self.message, "attempts": self.attempts}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CellError":
+        """Inverse of :meth:`to_dict` (rejects unknown keys)."""
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                f"a cell error must be an object, got {type(data).__name__}"
+            )
+        _check_keys("cell error", data, ("scenario", "kind", "message",
+                                         "attempts"))
+        if "scenario" not in data:
+            raise ScenarioError("cell error is missing the 'scenario' field")
+        return cls(scenario=Scenario.from_dict(data["scenario"]),
+                   kind=str(data.get("kind", "error")),
+                   message=str(data.get("message", "")),
+                   attempts=int(data.get("attempts", 1)))
+
+    def render(self) -> str:
+        """One-line human-readable summary."""
+        label = self.scenario.name or self.scenario.workload
+        note = f" after {self.attempts} attempts" if self.attempts > 1 else ""
+        return f"[{self.kind}] {label}: {self.message}{note}"
+
+
+class ExecutionBackend:
+    """Strategy for executing many independent scenario runs.
+
+    Subclasses implement :meth:`execute`; everything else (caching, result
+    ordering, sinks, progress) lives in
+    :class:`~repro.scenarios.session.GridSession`, so backends stay small.
+    """
+
+    #: Registry key (also used in reprs and CLI flags).
+    name = "?"
+
+    def execute(self, scenarios: Sequence[Scenario], runner: Runner, *,
+                timeout: float | None = None,
+                retries: int = 1) -> Iterator[tuple[int, object]]:
+        """Yield ``(index, ScenarioResult | CellError)`` pairs, any order."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+def _error_outcome(scenario: Scenario, exc: BaseException,
+                   attempts: int) -> CellError:
+    return CellError(scenario, "error", f"{type(exc).__name__}: {exc}",
+                     attempts)
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every cell in-process, in input order (the default backend).
+
+    Cannot preempt a running cell, so a per-scenario ``timeout`` is applied
+    after the fact: the overrunning cell still completes but is reported as
+    a ``"timeout"`` :class:`CellError`, matching the parallel backends.
+    """
+
+    name = "serial"
+
+    def execute(self, scenarios: Sequence[Scenario], runner: Runner, *,
+                timeout: float | None = None,
+                retries: int = 1) -> Iterator[tuple[int, object]]:
+        """Yield outcomes one by one, in input order."""
+        for index, scenario in enumerate(scenarios):
+            started = time.monotonic()
+            try:
+                result = runner(scenario)
+            except Exception as exc:
+                yield index, _error_outcome(scenario, exc, 1)
+                continue
+            elapsed = time.monotonic() - started
+            if timeout is not None and elapsed > timeout:
+                yield index, CellError(
+                    scenario, "timeout",
+                    f"cell took {elapsed:.2f}s, exceeding the {timeout:g}s "
+                    f"timeout (serial backend cannot preempt)", 1)
+            else:
+                yield index, result
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared machinery for the thread- and process-pool backends.
+
+    Cells are submitted through a sliding window of at most ``max_workers``
+    in-flight futures — completed futures immediately free a slot for the
+    next pending cell (work stealing), and results are yielded in
+    completion order.  Per-cell deadlines are measured from submission,
+    which coincides with start because the window never exceeds the pool
+    width.
+    """
+
+    #: Poll interval while waiting with deadlines armed (seconds).
+    _TICK = 0.05
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ScenarioError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.max_workers = max_workers
+
+    # -- subclass hooks -------------------------------------------------
+    def _make_executor(self, width: int) -> Executor:
+        raise NotImplementedError
+
+    def _discard_executor(self, executor: Executor) -> None:
+        """Tear an executor down without waiting for stuck cells."""
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    #: Whether a timeout discards the pool.  Both pool backends do: a
+    #: timed-out cell still occupies its real worker (thread or process),
+    #: so keeping the pool would silently shrink the window and arm later
+    #: cells' deadlines while they queue behind the stuck worker — one hung
+    #: cell would cascade into spurious timeouts for every cell after it.
+    #: A fresh pool restores full width; in-flight siblings are resubmitted
+    #: without being charged an attempt.
+    _rebuild_on_timeout = True
+
+    # -------------------------------------------------------------------
+    def execute(self, scenarios: Sequence[Scenario], runner: Runner, *,
+                timeout: float | None = None,
+                retries: int = 1) -> Iterator[tuple[int, object]]:
+        """Yield outcomes in completion order over a worker pool."""
+        scenarios = list(scenarios)
+        if not scenarios:
+            return
+        width = self.max_workers or min(32, (os.cpu_count() or 2))
+        width = max(1, min(width, len(scenarios)))
+        pending: deque[tuple[int, Scenario, int]] = deque(
+            (i, s, 1) for i, s in enumerate(scenarios)
+        )
+        in_flight: dict[Future, tuple[int, Scenario, int, float | None]] = {}
+        executor = self._make_executor(width)
+        try:
+            while pending or in_flight:
+                # Top the window up (work stealing: any free slot takes the
+                # next pending cell, whatever its grid position).
+                while pending and len(in_flight) < width:
+                    index, scenario, attempt = pending.popleft()
+                    try:
+                        future = executor.submit(runner, scenario)
+                    except BrokenExecutor:
+                        # The pool broke between completions; recreate it
+                        # and charge no attempt to this innocent cell.
+                        pending.appendleft((index, scenario, attempt))
+                        self._discard_executor(executor)
+                        executor = self._make_executor(width)
+                        continue
+                    deadline = (time.monotonic() + timeout
+                                if timeout is not None else None)
+                    in_flight[future] = (index, scenario, attempt, deadline)
+
+                done, _ = wait(
+                    in_flight, return_when=FIRST_COMPLETED,
+                    timeout=self._TICK if timeout is not None else None,
+                )
+                broke = False
+                for future in done:
+                    index, scenario, attempt, _deadline = in_flight.pop(future)
+                    try:
+                        yield index, future.result()
+                    except BrokenExecutor as exc:
+                        broke = True
+                        if attempt <= retries:
+                            pending.append((index, scenario, attempt + 1))
+                        else:
+                            yield index, CellError(
+                                scenario, "worker-death",
+                                f"worker died running this cell "
+                                f"({type(exc).__name__}: {exc})", attempt)
+                    except Exception as exc:
+                        yield index, _error_outcome(scenario, exc, attempt)
+                if broke:
+                    # A dead worker poisons every in-flight future of the
+                    # pool; resubmit them (their attempt counts too — the
+                    # culprit cannot be told apart) on a fresh pool.
+                    for future, (index, scenario, attempt, _dl) in list(
+                            in_flight.items()):
+                        if attempt <= retries:
+                            pending.append((index, scenario, attempt + 1))
+                        else:
+                            yield index, CellError(
+                                scenario, "worker-death",
+                                "worker pool died (retry budget exhausted)",
+                                attempt)
+                    in_flight.clear()
+                    self._discard_executor(executor)
+                    executor = self._make_executor(width)
+                    continue
+
+                if timeout is None:
+                    continue
+                now = time.monotonic()
+                expired = [f for f, (_i, _s, _a, dl) in in_flight.items()
+                           if dl is not None and now >= dl and not f.done()]
+                for future in expired:
+                    index, scenario, attempt, _dl = in_flight.pop(future)
+                    future.cancel()
+                    yield index, CellError(
+                        scenario, "timeout",
+                        f"cell exceeded the {timeout:g}s timeout", attempt)
+                if expired and self._rebuild_on_timeout:
+                    # Reclaim the stuck workers; in-flight siblings were not
+                    # at fault, so they are resubmitted without charge.
+                    for future, (index, scenario, attempt, _dl) in list(
+                            in_flight.items()):
+                        pending.append((index, scenario, attempt))
+                    in_flight.clear()
+                    self._discard_executor(executor)
+                    executor = self._make_executor(width)
+        finally:
+            self._discard_executor(executor)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+
+class ThreadBackend(_PoolBackend):
+    """Fan cells out over a thread pool.
+
+    Engine runs are pure Python and GIL-bound, so threads mostly help when
+    the runner releases the GIL or blocks on I/O; the backend mainly exists
+    as the cheap-to-spawn middle ground and for exercising the concurrent
+    collection path.  Timed-out cells are abandoned: the worker thread runs
+    on to completion in a discarded pool (threads cannot be killed), but
+    its result is dropped and a fresh pool keeps the remaining cells at
+    full parallelism.
+    """
+
+    name = "threads"
+
+    def _make_executor(self, width: int) -> Executor:
+        return ThreadPoolExecutor(max_workers=width,
+                                  thread_name_prefix="repro-grid")
+
+
+class ProcessBackend(_PoolBackend):
+    """Fan cells out over a ``ProcessPoolExecutor``.
+
+    True parallelism for CPU-bound engine runs.  A worker death (segfault,
+    OOM kill, ``os._exit``) breaks the pool: the backend rebuilds it and
+    retries each affected cell once (``retries=1``) before reporting a
+    ``"worker-death"`` :class:`CellError`.  Timeouts kill the stuck pool to
+    reclaim its workers.  Runner callables and custom registry entries must
+    be importable in worker processes (see :func:`run_scenarios`).
+    """
+
+    name = "processes"
+
+    def _make_executor(self, width: int) -> Executor:
+        return ProcessPoolExecutor(max_workers=width)
+
+    def _discard_executor(self, executor: Executor) -> None:
+        """Shut down without waiting, force-killing stuck workers."""
+        executor.shutdown(wait=False, cancel_futures=True)
+        # Workers stuck in a timed-out cell would otherwise keep the
+        # interpreter alive at exit; SIGKILL is safe because each cell is an
+        # isolated, side-effect-free simulation.
+        for process in list((getattr(executor, "_processes", None) or {}).values()):
+            try:
+                process.kill()
+            except (OSError, ValueError):  # pragma: no cover - racing exit
+                pass
+
+
+#: Execution-backend factories: ``fn() -> ExecutionBackend``.
+EXECUTION_BACKENDS: Registry = Registry("execution backend")
+EXECUTION_BACKENDS.register("serial")(SerialBackend)
+EXECUTION_BACKENDS.register("threads")(ThreadBackend)
+EXECUTION_BACKENDS.register("processes")(ProcessBackend)
+
+
+def resolve_backend(spec: "str | ExecutionBackend | None") -> ExecutionBackend:
+    """Coerce a backend name or instance into an :class:`ExecutionBackend`.
+
+    ``None`` resolves to the serial backend; strings go through
+    :data:`EXECUTION_BACKENDS`, so external backends registered there are
+    addressable by name from scenarios, grids and the CLI.
+    """
+    if spec is None:
+        return SerialBackend()
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if isinstance(spec, str):
+        return EXECUTION_BACKENDS.get(spec)()
+    raise ScenarioError(
+        f"backend must be a name or an ExecutionBackend, got "
+        f"{type(spec).__name__}"
+    )

@@ -1,0 +1,139 @@
+"""Content-addressed scenario-result cache keyed on a canonical digest.
+
+Because the engine is a deterministic discrete-event simulation, a
+:class:`~repro.scenarios.spec.Scenario` fully determines its
+:class:`~repro.scenarios.runner.ScenarioResult`.  That makes results
+content-addressable: :func:`scenario_digest` hashes the canonical JSON form
+of ``Scenario.to_dict()`` (sorted keys, compact separators) with SHA-256,
+and :class:`ScenarioCache` stores one result JSON document per digest so
+repeated grid cells — including whole re-runs of re-anchored figures — are
+never simulated twice.
+
+The ``name`` field is deliberately excluded from the digest: two scenarios
+that differ only in their label run the exact same simulation, so a renamed
+grid still hits the cache.  :class:`~repro.scenarios.session.GridSession`
+rewrites the label on the cached copy before handing it back.
+
+>>> from repro.scenarios import Scenario, scenario_digest
+>>> a = scenario_digest(Scenario(name="x", budget=2))
+>>> b = scenario_digest(Scenario(name="y", budget=2))
+>>> c = scenario_digest(Scenario(name="x", budget=3))
+>>> a == b and a != c and len(a) == 64
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.errors import ScenarioError
+from repro.scenarios.runner import ScenarioResult
+from repro.scenarios.spec import Scenario
+
+
+def scenario_digest(scenario: Scenario) -> str:
+    """The canonical SHA-256 hex digest of ``scenario``.
+
+    Canonical form: ``Scenario.to_dict()`` minus the ``name`` label, dumped
+    with sorted keys and compact separators, encoded as UTF-8.  Scenarios
+    that would produce identical simulations therefore share a digest.
+    """
+    data = scenario.to_dict()
+    data.pop("name", None)
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ScenarioCache:
+    """A directory of ``<digest>.json`` result documents.
+
+    >>> import tempfile
+    >>> from repro.scenarios import Scenario
+    >>> cache = ScenarioCache(tempfile.mkdtemp())
+    >>> scenario_digest(Scenario()) in cache
+    False
+
+    Entries are written atomically (temp file + rename), so concurrent grid
+    runs sharing one cache directory never observe half-written documents.
+    Invalidation is by construction: any change to the scenario — planner,
+    budget, engine overrides, failure schedule, seed — changes the digest,
+    so stale entries are simply never looked up again.  Delete the directory
+    (or call :meth:`clear`) to reclaim disk.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Number of successful lookups served from disk.
+        self.hits = 0
+        #: Number of lookups that found no (readable) entry.
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, digest: str) -> Path:
+        """Where the result document for ``digest`` lives."""
+        return self.directory / f"{digest}.json"
+
+    def get(self, digest: str) -> ScenarioResult | None:
+        """The cached result for ``digest``, or ``None`` on a miss.
+
+        Corrupt or unreadable entries count as misses (and are left for the
+        next :meth:`put` to overwrite) rather than failing the grid run.
+        """
+        path = self.path_for(digest)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            result = ScenarioResult.from_dict(json.loads(text))
+        except (ValueError, ScenarioError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def lookup(self, scenario: Scenario) -> ScenarioResult | None:
+        """Convenience: :meth:`get` keyed by the scenario itself."""
+        return self.get(scenario_digest(scenario))
+
+    def put(self, digest: str, result: ScenarioResult) -> None:
+        """Store ``result`` under ``digest`` (atomic replace)."""
+        payload = json.dumps(result.to_dict(), sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self.path_for(digest))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, digest: object) -> bool:
+        return isinstance(digest, str) and self.path_for(digest).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing deleter
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (f"ScenarioCache({str(self.directory)!r}, entries={len(self)}, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -14,7 +14,11 @@ Models registered here:
 * ``"random-k"`` — ``k`` tasks sampled without replacement, deterministic
   in the seed;
 * ``"unreplicated"`` — every task outside the replication plan (the
-  Fig. 12/13 tentative-quality outage).
+  Fig. 12/13 tentative-quality outage);
+* ``"rack-correlated"`` (alias ``"rack_correlated"``) — every task placed
+  on a node of the failing rack(s), derived from a node→rack placement map
+  in ``failure.params`` (the paper's motivating correlated-failure domain:
+  a shared switch or PDU takes out a whole rack of workers).
 
 New models plug in with ``@FAILURE_MODELS.register("name")``; the callable
 receives ``(topology, plan, *, seed, **params)`` and returns the victim
@@ -24,7 +28,7 @@ tasks.
 from __future__ import annotations
 
 import random
-from typing import AbstractSet, Iterable, Sequence
+from typing import AbstractSet, Iterable, Mapping, Sequence
 
 from repro.errors import ScenarioError
 from repro.scenarios.registry import FAILURE_MODELS
@@ -32,16 +36,30 @@ from repro.topology.graph import Topology
 from repro.topology.operators import TaskId
 
 
+def parse_task_string(value: str) -> TaskId | None:
+    """Parse the serialized ``"Op[i]"`` task spelling; ``None`` if malformed.
+
+    The single source of truth for the string form shared by failure specs
+    and result documents (:meth:`ScenarioResult.from_dict`).
+    """
+    if value.endswith("]") and "[" in value:
+        operator, _, index = value[:-1].partition("[")
+        try:
+            return TaskId(operator, int(index))
+        except ValueError:
+            return None
+    return None
+
+
 def _task_from_param(topology: Topology, value: object) -> TaskId:
     """Parse ``["O1", 0]`` / ``"O1[0]"`` / ``TaskId`` into a validated TaskId."""
     if isinstance(value, TaskId):
         task = value
     elif isinstance(value, str) and value.endswith("]") and "[" in value:
-        operator, _, index = value[:-1].partition("[")
-        try:
-            task = TaskId(operator, int(index))
-        except ValueError:
-            raise ScenarioError(f"malformed task reference {value!r}") from None
+        parsed = parse_task_string(value)
+        if parsed is None:
+            raise ScenarioError(f"malformed task reference {value!r}")
+        task = parsed
     elif isinstance(value, Sequence) and not isinstance(value, str) and len(value) == 2:
         try:
             task = TaskId(str(value[0]), int(value[1]))
@@ -112,6 +130,91 @@ def random_k(topology: Topology, plan: AbstractSet[TaskId], *, seed: int,
         )
     rng = random.Random(seed)
     return tuple(sorted(rng.sample(eligible, k)))
+
+
+@FAILURE_MODELS.register("rack-correlated")
+def rack_correlated(topology: Topology, plan: AbstractSet[TaskId], *, seed: int,
+                    placement: Mapping[str, str],
+                    racks: Sequence[str] | str | None = None,
+                    rack: str | None = None,
+                    assignment: Mapping[str, object] | None = None,
+                    include_sources: bool = True) -> tuple[TaskId, ...]:
+    """Every task on a node of the failing rack(s) dies at once.
+
+    ``placement`` maps node name → rack id; ``racks`` (or the singular
+    ``rack``) names which rack(s) fail.  Tasks are placed on the nodes
+    round-robin in ``placement``'s key order — mirroring the engine
+    cluster's default placement — unless ``assignment`` pins specific tasks
+    (``{"O2[0]": "node-a", ...}``) to nodes explicitly; unpinned tasks keep
+    their round-robin slot.  Set ``include_sources=False`` to keep source
+    tasks alive even when their rack fails.
+
+    Example ``failure.params``::
+
+        {"placement": {"n0": "rack-a", "n1": "rack-a", "n2": "rack-b"},
+         "racks": ["rack-a"]}
+    """
+    if not isinstance(placement, Mapping) or not placement:
+        raise ScenarioError(
+            "'rack-correlated' needs a non-empty 'placement' mapping of "
+            "node name -> rack id"
+        )
+    nodes = [str(n) for n in placement]
+    node_racks = {str(n): str(r) for n, r in placement.items()}
+    if rack is not None and racks is not None:
+        raise ScenarioError("'rack-correlated': pass racks or rack, not both")
+    if rack is not None:
+        racks = (rack,)
+    elif isinstance(racks, str):
+        racks = (racks,)
+    if not racks:
+        raise ScenarioError(
+            "'rack-correlated' needs 'racks' (or 'rack') naming the failing "
+            "rack(s)"
+        )
+    known_racks = set(node_racks.values())
+    failing = []
+    for name in racks:
+        name = str(name)
+        if name not in known_racks:
+            choices = ", ".join(repr(r) for r in sorted(known_racks))
+            raise ScenarioError(
+                f"'rack-correlated': unknown rack {name!r}; placement has "
+                f"{choices}"
+            )
+        failing.append(name)
+    failing_set = set(failing)
+
+    node_of: dict[TaskId, str] = {}
+    for position, task in enumerate(topology.tasks()):
+        node_of[task] = nodes[position % len(nodes)]
+    if assignment:
+        for ref, node_name in assignment.items():
+            task = _task_from_param(topology, ref)
+            node_name = str(node_name)
+            if node_name not in node_racks:
+                known = ", ".join(repr(n) for n in nodes)
+                raise ScenarioError(
+                    f"'rack-correlated': task {task} assigned to unknown "
+                    f"node {node_name!r}; placement has {known}"
+                )
+            node_of[task] = node_name
+
+    victims = tuple(
+        task for task in topology.tasks()
+        if node_racks[node_of[task]] in failing_set
+        and (include_sources or not topology.operator(task.operator).is_source)
+    )
+    if not victims:
+        raise ScenarioError(
+            f"'rack-correlated': no tasks are placed on rack(s) "
+            f"{sorted(failing_set)}"
+        )
+    return victims
+
+
+# Underscore alias so the model is reachable under both spellings.
+FAILURE_MODELS.register("rack_correlated")(rack_correlated)
 
 
 @FAILURE_MODELS.register("unreplicated")

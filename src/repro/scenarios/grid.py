@@ -1,21 +1,33 @@
-"""Parameter-grid expansion and (optionally parallel) scenario execution.
+"""Parameter-grid expansion and pluggable scenario execution.
 
 :func:`expand_grid` turns a base scenario plus axes into the cross product
-of scenarios; :func:`run_grid` executes them — serially or fanned out over a
-``multiprocessing`` pool.  Expansion order and results are deterministic:
-axes are iterated in sorted key order, values in the order given, and the
-engine itself is a deterministic discrete-event simulation, so a grid run
-with ``workers=4`` returns exactly the same results as a serial run.
+of scenarios; :func:`run_scenarios` and :func:`run_grid` are thin façades
+over :class:`~repro.scenarios.session.GridSession`, which wires an
+:class:`~repro.scenarios.backends.ExecutionBackend` (``"serial"``,
+``"threads"``, ``"processes"``), a :class:`~repro.scenarios.sinks.ResultSink`
+(``"memory"``, JSONL, SQLite) and an optional content-addressed
+:class:`~repro.scenarios.cache.ScenarioCache` together.
+
+Expansion order and results are deterministic: axes are iterated in sorted
+key order, values in the order given, sinks receive outcomes in input order
+whatever the backend's completion order, and the engine itself is a
+deterministic discrete-event simulation — so a grid run with
+``backend="processes"`` returns exactly the same results as a serial run.
 """
 
 from __future__ import annotations
 
 import itertools
 import multiprocessing
-from typing import Any, Mapping, Sequence
+import warnings
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ScenarioError
+from repro.scenarios.backends import ExecutionBackend
+from repro.scenarios.cache import ScenarioCache
 from repro.scenarios.runner import ScenarioResult, run_scenario
+from repro.scenarios.session import GridSession, ProgressEvent
+from repro.scenarios.sinks import ResultSink
 from repro.scenarios.spec import Scenario
 
 
@@ -63,40 +75,112 @@ def expand_grid(base: Scenario,
     return scenarios
 
 
-def run_scenarios(scenarios: Sequence[Scenario], *,
-                  workers: int | None = None) -> list[ScenarioResult]:
-    """Execute ``scenarios`` in order; results line up with the input.
+def _run_with_pool_shim(scenarios: list[Scenario], workers: int) -> list[ScenarioResult]:
+    """The deprecated ``workers=`` fan-out (kept for API compatibility).
 
-    ``workers`` > 1 fans the runs out over a process pool (each engine run
-    is single-threaded and independent); the result order — and, because
-    runs are deterministic, the results themselves — do not depend on
-    ``workers``.
+    Uses chunked ``imap`` rather than ``pool.map`` so huge grids stream
+    results back instead of pickling them all at once.
+    """
+    if workers == 1 or len(scenarios) == 1:
+        return [run_scenario(s) for s in scenarios]
+    n = min(workers, len(scenarios))
+    # ~4 chunks per worker balances scheduling slack against IPC overhead.
+    chunksize = max(1, len(scenarios) // (n * 4))
+    with multiprocessing.Pool(processes=n) as pool:
+        return list(pool.imap(run_scenario, scenarios, chunksize=chunksize))
+
+
+def run_scenarios(scenarios: Sequence[Scenario], *,
+                  backend: "str | ExecutionBackend | None" = None,
+                  sink: "str | ResultSink | None" = None,
+                  cache: "ScenarioCache | str | None" = None,
+                  timeout: float | None = None,
+                  retries: int = 1,
+                  progress: Callable[[ProgressEvent], None] | None = None,
+                  resume: bool = False,
+                  strict: bool = True,
+                  workers: int | None = None) -> list:
+    """Execute ``scenarios`` in order; outcomes line up with the input.
+
+    ``backend`` selects the execution strategy (``"serial"`` by default,
+    ``"threads"``, or ``"processes"`` for a work-stealing process pool with
+    per-scenario ``timeout`` and ``retries``-on-worker-death); ``sink``
+    streams outcomes incrementally (memory, JSONL, SQLite) and ``cache``
+    skips already-simulated cells by content digest.  Because runs are
+    deterministic, the results do not depend on the backend.
+
+    With ``strict=True`` (the default) the first failed cell raises
+    :class:`ScenarioError` once the grid has finished and the sink holds
+    every outcome; with ``strict=False`` failed cells appear in the
+    returned list as structured
+    :class:`~repro.scenarios.backends.CellError`\\ s.
+
+    ``workers=`` is the deprecated spelling of the old multiprocessing
+    fan-out; prefer ``backend="processes"``.
 
     Worker processes see the built-in registries automatically.  Custom
     ``register()`` entries must live in an importable module for the
-    combination with ``workers`` to be portable: on platforms whose
-    multiprocessing start method is ``spawn`` (macOS, Windows), workers
-    re-import modules rather than inheriting the parent's memory, so
-    registrations made only in a ``__main__`` script are not visible there.
+    processes backend to be portable: on platforms whose multiprocessing
+    start method is ``spawn`` (macOS, Windows), workers re-import modules
+    rather than inheriting the parent's memory, so registrations made only
+    in a ``__main__`` script are not visible there.
     """
     scenarios = list(scenarios)
-    if not scenarios:
-        return []
-    if workers is not None and workers < 1:
-        raise ScenarioError(f"workers must be >= 1, got {workers}")
-    if workers is None or workers == 1 or len(scenarios) == 1:
-        return [run_scenario(s) for s in scenarios]
-    n = min(workers, len(scenarios))
-    with multiprocessing.Pool(processes=n) as pool:
-        return pool.map(run_scenario, scenarios)
+    if workers is not None:
+        # Validated before the empty-grid early return so a bad value is
+        # reported even when there is nothing to run.
+        if workers < 1:
+            raise ScenarioError(f"workers must be >= 1, got {workers}")
+        if backend is not None:
+            raise ScenarioError("pass backend= or the deprecated workers=, "
+                                "not both")
+        dropped = [label for label, given in (
+            ("sink", sink is not None), ("cache", cache is not None),
+            ("timeout", timeout is not None), ("retries", retries != 1),
+            ("progress", progress is not None), ("resume", resume),
+            ("strict=False", not strict),
+        ) if given]
+        if dropped:
+            raise ScenarioError(
+                f"the deprecated workers= shim does not support "
+                f"{', '.join(dropped)}; use backend='processes' instead"
+            )
+        warnings.warn(
+            "run_scenarios(workers=...) is deprecated; use "
+            "backend='processes' (optionally ProcessBackend(max_workers=N))",
+            DeprecationWarning, stacklevel=2)
+        if not scenarios:
+            return []
+        return _run_with_pool_shim(scenarios, workers)
+    session = GridSession(backend=backend, sink=sink, cache=cache,
+                          timeout=timeout, retries=retries, progress=progress,
+                          resume=resume, strict=strict)
+    return session.run(scenarios).outcomes
 
 
 def run_grid(base: Scenario, axes: Mapping[str, Sequence[Any]] | None = None, *,
-             workers: int | None = None) -> list[ScenarioResult]:
+             backend: "str | ExecutionBackend | None" = None,
+             sink: "str | ResultSink | None" = None,
+             cache: "ScenarioCache | str | None" = None,
+             timeout: float | None = None,
+             retries: int = 1,
+             progress: Callable[[ProgressEvent], None] | None = None,
+             resume: bool = False,
+             strict: bool = True,
+             workers: int | None = None) -> list:
     """Expand ``base`` over ``axes`` and execute every combination.
 
     With ``axes=None``, runs just ``base``.  See :func:`expand_grid` for the
-    axis syntax and :func:`run_scenarios` for the ``workers`` fan-out.
+    axis syntax and :func:`run_scenarios` for the execution keywords
+    (``backend``/``sink``/``cache``/``timeout``/``retries``/``progress``/
+    ``resume``/``strict``, plus the deprecated ``workers``)::
+
+        run_grid(base, {"budget": [0, 2, 4]},
+                 backend="processes",
+                 sink=JsonlSink("results.jsonl"),
+                 cache=ScenarioCache("~/.cache/repro-grid"))
     """
     scenarios = expand_grid(base, axes) if axes else [base]
-    return run_scenarios(scenarios, workers=workers)
+    return run_scenarios(scenarios, backend=backend, sink=sink, cache=cache,
+                         timeout=timeout, retries=retries, progress=progress,
+                         resume=resume, strict=strict, workers=workers)

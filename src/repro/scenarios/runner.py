@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Mapping, Sequence
 
 from repro.core.plans import (
     IC_OBJECTIVE,
@@ -25,13 +25,49 @@ from repro.engine.config import CostModel, EngineConfig, PassiveStrategy
 from repro.engine.engine import StreamEngine
 from repro.errors import ScenarioError
 from repro.scenarios import catalog
+from repro.scenarios.failures import parse_task_string
 from repro.scenarios.registry import FAILURE_MODELS
-from repro.scenarios.spec import FailureSpec, Scenario
+from repro.scenarios.spec import FailureSpec, Scenario, _check_keys
 from repro.topology.operators import TaskId
 from repro.workloads.bundles import QueryBundle
 
 #: Engine-dict keys that configure the engine constructor, not EngineConfig.
 _ENGINE_EXTRA_KEYS = ("source_replay_window_batches",)
+
+
+def _parse_task_ref(value: object, *, key: str) -> TaskId:
+    """Parse the serialized ``"Op[i]"`` task spelling back into a TaskId."""
+    task = parse_task_string(value) if isinstance(value, str) else None
+    if task is None:
+        raise ScenarioError(
+            f"result field {key!r}: malformed task reference {value!r} "
+            f"(expected 'Op[i]')"
+        )
+    return task
+
+
+def _typed(data: Mapping[str, Any], key: str, convert: Any,
+           default: Any = None, *, required: bool = False,
+           nullable: bool = False) -> Any:
+    """``convert(data[key])``, raising :class:`ScenarioError` naming ``key``.
+
+    An explicit JSON ``null`` is only accepted where ``None`` is a
+    meaningful value (``nullable=True``, e.g. an unfinished recovery);
+    anywhere else it is malformed input, not a value to coerce.
+    """
+    if key not in data:
+        if required:
+            raise ScenarioError(f"result document is missing the {key!r} field")
+        return default
+    value = data[key]
+    if value is None:
+        if nullable:
+            return None
+        raise ScenarioError(f"result field {key!r} must not be null")
+    try:
+        return convert(value)
+    except (TypeError, ValueError) as exc:
+        raise ScenarioError(f"result field {key!r}: {exc}") from None
 
 
 @dataclass(frozen=True)
@@ -56,6 +92,26 @@ class RecoveryOutcome:
         return {"task": str(self.task), "mode": self.mode,
                 "fail_time": self.fail_time, "detect_time": self.detect_time,
                 "recovered_time": self.recovered_time, "latency": self.latency}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RecoveryOutcome":
+        """Inverse of :meth:`to_dict`; ``latency`` is derived and ignored."""
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                f"a recovery outcome must be an object, got {type(data).__name__}"
+            )
+        _check_keys("recovery", data, ("task", "mode", "fail_time",
+                                       "detect_time", "recovered_time",
+                                       "latency"))
+        if "task" not in data:
+            raise ScenarioError("result document is missing the 'task' field")
+        return cls(
+            task=_parse_task_ref(data["task"], key="task"),
+            mode=str(_typed(data, "mode", str, required=True)),
+            fail_time=_typed(data, "fail_time", float, required=True),
+            detect_time=_typed(data, "detect_time", float, required=True),
+            recovered_time=_typed(data, "recovered_time", float, nullable=True),
+        )
 
 
 @dataclass
@@ -126,6 +182,86 @@ class ScenarioResult:
             "complete_sink_batches": self.complete_sink_batches,
             "tentative_sink_batches": self.tentative_sink_batches,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output, losslessly.
+
+        The inverse includes the nested :class:`Scenario`, the plan with its
+        provenance (planner name, budget, replicated task set) and every
+        :class:`RecoveryOutcome`; derived fields (``mean_recovery_latency``,
+        ``max_recovery_latency``, ``all_recovered``, per-recovery
+        ``latency``) are accepted and recomputed.  Malformed input raises
+        :class:`ScenarioError` naming the offending key.
+        """
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                f"a result document must be an object, got {type(data).__name__}"
+            )
+        _check_keys("result", data, (
+            "scenario", "plan", "worst_case_fidelity", "failure_fidelity",
+            "failed_tasks", "recoveries", "mean_recovery_latency",
+            "max_recovery_latency", "all_recovered", "batches_processed",
+            "tuples_processed", "checkpoints_taken", "batches_forged",
+            "complete_sink_batches", "tentative_sink_batches",
+        ))
+        for key in ("scenario", "plan"):
+            if key not in data:
+                raise ScenarioError(
+                    f"result document is missing the {key!r} field"
+                )
+        try:
+            scenario = Scenario.from_dict(data["scenario"])
+        except ScenarioError as exc:
+            raise ScenarioError(f"result field 'scenario': {exc}") from None
+        plan_data = data["plan"]
+        if not isinstance(plan_data, Mapping):
+            raise ScenarioError(
+                f"result field 'plan' must be an object, got "
+                f"{type(plan_data).__name__}"
+            )
+        _check_keys("result plan", plan_data, ("planner", "budget", "replicated"))
+        budget = plan_data.get("budget")
+        if budget is not None:
+            try:
+                budget = int(budget)
+            except (TypeError, ValueError) as exc:
+                raise ScenarioError(
+                    f"result field 'plan.budget': {exc}"
+                ) from None
+        plan = ReplicationPlan(
+            replicated=frozenset(
+                _parse_task_ref(t, key="plan.replicated")
+                for t in plan_data.get("replicated", ())
+            ),
+            planner=str(plan_data.get("planner", "")),
+            budget=budget,
+        )
+        recoveries = data.get("recoveries", ())
+        if not isinstance(recoveries, Sequence) or isinstance(recoveries, (str, bytes)):
+            raise ScenarioError(
+                f"result field 'recoveries' must be a list, got "
+                f"{type(recoveries).__name__}"
+            )
+        return cls(
+            scenario=scenario,
+            plan=plan,
+            worst_case_fidelity=_typed(data, "worst_case_fidelity", float,
+                                       required=True),
+            failure_fidelity=_typed(data, "failure_fidelity", float,
+                                    required=True),
+            failed_tasks=tuple(
+                _parse_task_ref(t, key="failed_tasks")
+                for t in data.get("failed_tasks", ())
+            ),
+            recoveries=tuple(RecoveryOutcome.from_dict(r) for r in recoveries),
+            batches_processed=_typed(data, "batches_processed", int, 0),
+            tuples_processed=_typed(data, "tuples_processed", int, 0),
+            checkpoints_taken=_typed(data, "checkpoints_taken", int, 0),
+            batches_forged=_typed(data, "batches_forged", int, 0),
+            complete_sink_batches=_typed(data, "complete_sink_batches", int, 0),
+            tentative_sink_batches=_typed(data, "tentative_sink_batches", int, 0),
+        )
 
     def render(self) -> str:
         """Human-readable multi-line summary (what the CLI prints)."""

@@ -118,3 +118,45 @@ class TestGridSubcommand:
         path.write_text(json.dumps({"axes": {"budget": [1]}}))
         assert main(["grid", str(path)]) == 2
         assert "'scenarios' or 'base'" in capsys.readouterr().err
+
+    def test_backend_output_resume_cache_round_trip(self, tmp_path, capsys):
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text(json.dumps({
+            "base": tiny_scenario_dict(),
+            "axes": {"budget": [0, 1, 2]},
+        }))
+        out = tmp_path / "out.jsonl"
+        args = ["grid", str(grid_path), "--backend", "processes",
+                "--output", str(out), "--resume",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "3 executed" in err
+        first_bytes = out.read_bytes()
+        assert len(first_bytes.splitlines()) == 3
+
+        # Second invocation resumes: nothing re-runs, the file is unchanged.
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "0 executed" in err and "3 resumed" in err
+        assert out.read_bytes() == first_bytes
+
+    def test_max_workers_on_serial_backend_rejected_cleanly(self, tmp_path,
+                                                           capsys):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({"base": tiny_scenario_dict()}))
+        assert main(["grid", str(path), "--backend", "serial",
+                     "--max-workers", "2"]) == 2
+        assert "does not take --max-workers" in capsys.readouterr().err
+
+    def test_resume_without_output_rejected(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({"base": tiny_scenario_dict()}))
+        assert main(["grid", str(path), "--resume"]) == 2
+        assert "--resume needs --output" in capsys.readouterr().err
+
+    def test_progress_lines_on_stderr(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({"base": tiny_scenario_dict()}))
+        assert main(["grid", str(path), "--progress"]) == 0
+        assert "[1/1]" in capsys.readouterr().err

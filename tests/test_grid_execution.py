@@ -1,0 +1,570 @@
+"""Tests for the pluggable grid-execution layer.
+
+Covers the backend × sink matrix (byte-identical outputs), the
+content-addressed scenario cache (hits skip the engine), resume, the
+structured per-cell error paths (timeout, worker death, runner errors),
+result round-trips, the rack-correlated failure model and the deprecated
+``workers=`` shim.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    EXECUTION_BACKENDS,
+    FAILURE_MODELS,
+    RESULT_SINKS,
+    CellError,
+    EdgeDef,
+    FailureSpec,
+    GridSession,
+    JsonlSink,
+    MemorySink,
+    OperatorDef,
+    ProcessBackend,
+    Scenario,
+    ScenarioCache,
+    ScenarioResult,
+    SqliteSink,
+    ThreadBackend,
+    TopologyRecipe,
+    expand_grid,
+    run_grid,
+    run_scenario,
+    run_scenarios,
+    scenario_digest,
+    sink_for_path,
+)
+from repro.scenarios.runner import RecoveryOutcome
+from repro.topology import TaskId
+
+
+def tiny_recipe() -> TopologyRecipe:
+    return TopologyRecipe(
+        operators=(
+            OperatorDef("S", 2, kind="source"),
+            OperatorDef("A", 2, selectivity=0.5),
+            OperatorDef("B", 1, selectivity=0.5),
+        ),
+        edges=(
+            EdgeDef("S", "A", "one-to-one"),
+            EdgeDef("A", "B", "merge"),
+        ),
+    )
+
+
+def tiny_scenario(**overrides) -> Scenario:
+    defaults = dict(
+        name="tiny",
+        workload="custom",
+        topology=tiny_recipe(),
+        workload_params={"source_rate": 20.0, "window_seconds": 5.0},
+        planner="greedy",
+        budget=2,
+        engine={"checkpoint_interval": 5.0},
+        failures=(FailureSpec("single-task", at=8.0, params={"operator": "A"}),),
+        duration=16.0,
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+def tiny_grid() -> list[Scenario]:
+    return expand_grid(tiny_scenario(), {"budget": [0, 1, 2],
+                                         "engine.checkpoint_interval": [4.0, 8.0]})
+
+
+# ----------------------------------------------------------------------
+# Module-level runners: picklable for the processes backend (fork start
+# method inherits this module; pickling resolves them by qualified name).
+# ----------------------------------------------------------------------
+
+_CALLS = {"count": 0}
+
+#: Sentinel seed marking the cell that misbehaves in the fault-path tests.
+MARKED_SEED = 424242
+
+
+def counting_runner(scenario):
+    _CALLS["count"] += 1
+    return run_scenario(scenario)
+
+
+def sleepy_runner(scenario):
+    if scenario.seed == MARKED_SEED:
+        time.sleep(2.0)
+    return run_scenario(scenario)
+
+
+def killer_runner(scenario):
+    if scenario.seed == MARKED_SEED:
+        os._exit(3)
+    return run_scenario(scenario)
+
+
+def failing_runner(scenario):
+    raise ValueError("boom")
+
+
+# ----------------------------------------------------------------------
+class TestResultRoundTrip:
+    def test_full_round_trip_including_plan_and_recoveries(self):
+        result = run_scenario(tiny_scenario())
+        rebuilt = ScenarioResult.from_dict(result.to_dict())
+        assert rebuilt == result
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.plan.planner == "Greedy"
+        assert rebuilt.plan.replicated == result.plan.replicated
+        assert rebuilt.recoveries == result.recoveries
+
+    def test_round_trip_through_json_text(self):
+        result = run_scenario(tiny_scenario())
+        rebuilt = ScenarioResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert rebuilt == result
+
+    def test_missing_required_field_names_key(self):
+        data = run_scenario(tiny_scenario()).to_dict()
+        del data["plan"]
+        with pytest.raises(ScenarioError, match="'plan'"):
+            ScenarioResult.from_dict(data)
+
+    def test_unknown_field_rejected(self):
+        data = run_scenario(tiny_scenario()).to_dict()
+        data["fidelity"] = 1.0
+        with pytest.raises(ScenarioError, match="fidelity"):
+            ScenarioResult.from_dict(data)
+
+    def test_malformed_task_reference_names_key(self):
+        data = run_scenario(tiny_scenario()).to_dict()
+        data["failed_tasks"] = ["A-0"]
+        with pytest.raises(ScenarioError, match="'failed_tasks'.*A-0"):
+            ScenarioResult.from_dict(data)
+
+    def test_malformed_plan_reference_names_key(self):
+        data = run_scenario(tiny_scenario()).to_dict()
+        data["plan"]["replicated"] = [42]
+        with pytest.raises(ScenarioError, match="plan.replicated"):
+            ScenarioResult.from_dict(data)
+
+    def test_malformed_numeric_field_names_key(self):
+        data = run_scenario(tiny_scenario()).to_dict()
+        data["worst_case_fidelity"] = "high"
+        with pytest.raises(ScenarioError, match="'worst_case_fidelity'"):
+            ScenarioResult.from_dict(data)
+
+    def test_explicit_null_rejected_where_meaningless(self):
+        data = run_scenario(tiny_scenario()).to_dict()
+        data["batches_processed"] = None
+        with pytest.raises(ScenarioError, match="'batches_processed'.*null"):
+            ScenarioResult.from_dict(data)
+
+    def test_malformed_plan_budget_names_key(self):
+        data = run_scenario(tiny_scenario()).to_dict()
+        data["plan"]["budget"] = "lots"
+        with pytest.raises(ScenarioError, match="plan.budget"):
+            ScenarioResult.from_dict(data)
+
+    def test_null_recovery_mode_rejected(self):
+        outcome = RecoveryOutcome(TaskId("A", 1), "active", 8.0, 10.0, None)
+        data = outcome.to_dict()
+        data["mode"] = None
+        with pytest.raises(ScenarioError, match="'mode'.*null"):
+            RecoveryOutcome.from_dict(data)
+        # while a null recovered_time is meaningful (recovery unfinished)
+        assert RecoveryOutcome.from_dict(outcome.to_dict()) == outcome
+
+    def test_recovery_outcome_round_trip(self):
+        outcome = RecoveryOutcome(TaskId("A", 1), "active", 8.0, 10.0, 11.5)
+        assert RecoveryOutcome.from_dict(outcome.to_dict()) == outcome
+
+    def test_recovery_outcome_rejects_unknown_field(self):
+        with pytest.raises(ScenarioError, match="unknown recovery field"):
+            RecoveryOutcome.from_dict({"task": "A[0]", "mode": "active",
+                                       "fail_time": 1.0, "detect_time": 2.0,
+                                       "recovered_time": None, "speed": 9})
+
+
+# ----------------------------------------------------------------------
+class TestBackendSinkMatrix:
+    """Every backend x sink combination matches the serial/memory baseline."""
+
+    BACKENDS = ("serial", "threads", "processes")
+
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return tiny_grid()
+
+    @pytest.fixture(scope="class")
+    def baseline_jsonl(self, grid, tmp_path_factory):
+        path = tmp_path_factory.mktemp("baseline") / "serial.jsonl"
+        report = GridSession("serial", sink=JsonlSink(path)).run(grid)
+        assert report.errors == 0
+        return path.read_bytes()
+
+    @pytest.fixture(scope="class")
+    def baseline_dicts(self, grid):
+        report = GridSession("serial").run(grid)
+        return [r.to_dict() for r in report.results()]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_memory_sink_matches_baseline(self, backend, grid, baseline_dicts):
+        sink = MemorySink()
+        report = GridSession(backend, sink=sink).run(grid)
+        assert report.errors == 0
+        assert [r.to_dict() for r in sink.results] == baseline_dicts
+        assert [r.to_dict() for r in report.results()] == baseline_dicts
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_jsonl_sink_byte_identical(self, backend, grid, baseline_jsonl,
+                                       tmp_path):
+        path = tmp_path / f"{backend}.jsonl"
+        report = GridSession(backend, sink=JsonlSink(path)).run(grid)
+        assert report.errors == 0
+        assert path.read_bytes() == baseline_jsonl
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sqlite_sink_matches_baseline(self, backend, grid, baseline_dicts,
+                                          tmp_path):
+        path = tmp_path / f"{backend}.sqlite"
+        report = GridSession(backend, sink=SqliteSink(path)).run(grid)
+        assert report.errors == 0
+        loaded = SqliteSink.load(path)
+        assert [r.to_dict() for r in loaded] == baseline_dicts
+
+    def test_jsonl_reload_round_trips(self, grid, baseline_jsonl, tmp_path):
+        path = tmp_path / "reload.jsonl"
+        path.write_bytes(baseline_jsonl)
+        outcomes = JsonlSink.load(path)
+        assert len(outcomes) == len(grid)
+        assert all(isinstance(o, ScenarioResult) for o in outcomes)
+
+    def test_registries_expose_backends_and_sinks(self):
+        assert {"serial", "threads", "processes"} <= set(EXECUTION_BACKENDS.names())
+        assert {"memory", "jsonl", "sqlite"} <= set(RESULT_SINKS.names())
+
+    def test_sink_for_path_maps_extensions(self, tmp_path):
+        assert isinstance(sink_for_path(tmp_path / "x.jsonl"), JsonlSink)
+        assert isinstance(sink_for_path(tmp_path / "x.sqlite"), SqliteSink)
+        with pytest.raises(ScenarioError, match="cannot infer"):
+            sink_for_path(tmp_path / "x.csv")
+
+
+# ----------------------------------------------------------------------
+class TestScenarioCache:
+    def test_digest_ignores_name_only(self):
+        a, b = tiny_scenario(name="x"), tiny_scenario(name="y")
+        assert scenario_digest(a) == scenario_digest(b)
+        assert scenario_digest(a) != scenario_digest(tiny_scenario(seed=1))
+
+    def test_cache_hit_skips_engine_run_counter(self, tmp_path):
+        grid = tiny_grid()
+        cache = ScenarioCache(tmp_path / "cache")
+        _CALLS["count"] = 0
+        first = GridSession(cache=cache, runner=counting_runner).run(grid)
+        assert first.executed == len(grid)
+        assert _CALLS["count"] == len(grid)
+
+        second = GridSession(cache=cache, runner=counting_runner).run(grid)
+        assert _CALLS["count"] == len(grid)  # engine never ran again
+        assert second.executed == 0
+        assert second.cache_hits == len(grid)
+        assert ([r.to_dict() for r in second.results()]
+                == [r.to_dict() for r in first.results()])
+
+    def test_acceptance_processes_jsonl_cache_matches_serial(self, tmp_path):
+        """The ISSUE acceptance criterion, verbatim."""
+        base, axes = tiny_scenario(), {"budget": [0, 1, 2],
+                                       "engine.checkpoint_interval": [4.0, 8.0]}
+        serial = run_grid(base, axes)
+
+        path = tmp_path / "out.jsonl"
+        cache = ScenarioCache(tmp_path / "cache")
+        results = run_grid(base, axes, backend="processes",
+                           sink=JsonlSink(path), cache=cache)
+        assert [r.to_dict() for r in results] == [r.to_dict() for r in serial]
+        first_bytes = path.read_bytes()
+
+        # Second invocation: zero engine executions, identical output.
+        _CALLS["count"] = 0
+        session = GridSession("processes", sink=JsonlSink(path), cache=cache,
+                              runner=counting_runner)
+        report = session.run(expand_grid(base, axes))
+        assert report.executed == 0 and _CALLS["count"] == 0
+        assert report.cache_hits == len(serial)
+        assert path.read_bytes() == first_bytes
+
+    def test_identical_cells_deduplicated_within_one_grid(self):
+        _CALLS["count"] = 0
+        cells = [tiny_scenario(name=f"copy-{i}") for i in range(4)]
+        report = GridSession(runner=counting_runner).run(cells)
+        assert _CALLS["count"] == 1
+        assert report.executed == 1 and report.deduped == 3
+        names = [r.scenario.name for r in report.results()]
+        assert names == [f"copy-{i}" for i in range(4)]  # labels restored
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        digest = scenario_digest(tiny_scenario())
+        cache.path_for(digest).write_text("{not json")
+        assert cache.get(digest) is None
+        assert cache.misses == 1
+
+
+# ----------------------------------------------------------------------
+class TestResume:
+    def test_resume_skips_persisted_cells(self, tmp_path):
+        grid = tiny_grid()
+        path = tmp_path / "out.jsonl"
+        GridSession(sink=JsonlSink(path)).run(grid)
+        before = path.read_bytes()
+
+        _CALLS["count"] = 0
+        report = GridSession(sink=JsonlSink(path), resume=True,
+                             runner=counting_runner).run(grid)
+        assert _CALLS["count"] == 0
+        assert report.resumed == len(grid) and report.executed == 0
+        assert path.read_bytes() == before  # nothing re-appended
+
+    def test_resume_runs_only_new_cells(self, tmp_path):
+        grid = tiny_grid()
+        path = tmp_path / "out.jsonl"
+        GridSession(sink=JsonlSink(path)).run(grid[:3])
+        report = GridSession(sink=JsonlSink(path), resume=True).run(grid)
+        assert report.resumed == 3 and report.executed == 3
+        outcomes = JsonlSink.load(path)
+        assert len(outcomes) == len(grid)
+
+    def test_sqlite_resume(self, tmp_path):
+        grid = tiny_grid()
+        path = tmp_path / "out.sqlite"
+        GridSession(sink=SqliteSink(path)).run(grid[:2])
+        report = GridSession(sink=SqliteSink(path), resume=True).run(grid)
+        assert report.resumed == 2 and report.executed == 4
+        assert len(SqliteSink.load(path)) == len(grid)
+
+    @pytest.mark.parametrize("sink_cls", [JsonlSink, SqliteSink])
+    def test_resume_with_reordered_grid_keeps_old_rows(self, sink_cls, tmp_path):
+        # A cell prepended between runs shifts every index; persisted rows
+        # are keyed by digest, so nothing is overwritten or shadowed.
+        a, b = tiny_scenario(name="a", seed=1), tiny_scenario(name="b", seed=2)
+        c = tiny_scenario(name="c", seed=3)
+        path = tmp_path / ("out.jsonl" if sink_cls is JsonlSink else "out.sqlite")
+        GridSession(sink=sink_cls(path)).run([a, b])
+        report = GridSession(sink=sink_cls(path), resume=True).run([c, a, b])
+        assert report.resumed == 2 and report.executed == 1
+        loaded = sink_cls.load(path)
+        assert sorted(r.scenario.name for r in loaded) == ["a", "b", "c"]
+
+
+# ----------------------------------------------------------------------
+class TestStructuredErrors:
+    def scenarios(self):
+        # Distinct seeds keep digests distinct (no dedup); the marked cell
+        # carries the sentinel seed the faulty runners look for.
+        cells = [tiny_scenario(name=f"cell-{i}", seed=i) for i in range(3)]
+        marked = tiny_scenario(name="marked", seed=MARKED_SEED)
+        return [cells[0], marked, cells[1], cells[2]]
+
+    @pytest.mark.parametrize("backend_factory", [
+        lambda: ProcessBackend(max_workers=2),
+        lambda: ThreadBackend(max_workers=2),
+    ])
+    def test_timeout_surfaces_as_cell_error(self, backend_factory):
+        cells = self.scenarios()
+        report = GridSession(backend_factory(), timeout=0.75,
+                             runner=sleepy_runner).run(cells)
+        kinds = [getattr(o, "kind", "ok") for o in report.outcomes]
+        assert kinds == ["ok", "timeout", "ok", "ok"]
+        assert report.errors == 1
+        error = report.cell_errors()[0]
+        assert error.scenario.name == "marked"
+        assert "timeout" in error.message
+
+    def test_thread_timeout_does_not_cascade(self):
+        # One hung cell must not consume the only worker slot for good:
+        # the pool is replaced, so later fast cells still finish in time.
+        cells = self.scenarios()
+        report = GridSession(ThreadBackend(max_workers=1), timeout=0.75,
+                             runner=sleepy_runner).run(cells)
+        kinds = [getattr(o, "kind", "ok") for o in report.outcomes]
+        assert kinds == ["ok", "timeout", "ok", "ok"]
+
+    def test_serial_flags_timeout_after_the_fact(self):
+        marked = tiny_scenario(name="marked", seed=MARKED_SEED)
+        report = GridSession("serial", timeout=0.5,
+                             runner=sleepy_runner).run([marked])
+        assert report.errors == 1
+        assert report.cell_errors()[0].kind == "timeout"
+
+    def test_worker_death_retries_once_then_reports(self):
+        cells = self.scenarios()
+        report = GridSession(ProcessBackend(max_workers=1), retries=1,
+                             runner=killer_runner).run(cells)
+        kinds = [getattr(o, "kind", "ok") for o in report.outcomes]
+        assert kinds == ["ok", "worker-death", "ok", "ok"]
+        error = report.cell_errors()[0]
+        assert error.attempts == 2  # first run + one retry
+        assert error.scenario.name == "marked"
+
+    def test_runner_exception_becomes_error_outcome(self):
+        report = GridSession(runner=failing_runner).run([tiny_scenario()])
+        error = report.cell_errors()[0]
+        assert error.kind == "error" and "boom" in error.message
+
+    def test_strict_facade_raises_on_cell_error(self):
+        with pytest.raises(ScenarioError, match="workload='custom'"):
+            run_scenarios([tiny_scenario(workload="synthetic")])
+
+    def test_non_strict_facade_returns_cell_errors(self):
+        outcomes = run_scenarios([tiny_scenario(workload="synthetic")],
+                                 strict=False)
+        assert isinstance(outcomes[0], CellError)
+
+    def test_error_rows_persist_and_reload(self, tmp_path):
+        path = tmp_path / "errors.jsonl"
+        GridSession(sink=JsonlSink(path),
+                    runner=failing_runner).run([tiny_scenario()])
+        outcomes = JsonlSink.load(path)
+        assert isinstance(outcomes[0], CellError)
+        assert outcomes[0].kind == "error"
+
+    def test_resumed_run_retries_error_rows(self, tmp_path):
+        path = tmp_path / "retry.jsonl"
+        GridSession(sink=JsonlSink(path),
+                    runner=failing_runner).run([tiny_scenario()])
+        report = GridSession(sink=JsonlSink(path), resume=True).run(
+            [tiny_scenario()])
+        assert report.resumed == 0 and report.executed == 1
+        outcomes = JsonlSink.load(path)
+        assert isinstance(outcomes[0], ScenarioResult)
+
+    def test_cell_error_round_trips(self):
+        error = CellError(tiny_scenario(), "timeout", "too slow", attempts=2)
+        assert CellError.from_dict(error.to_dict()) == error
+
+
+# ----------------------------------------------------------------------
+class TestProgressAndReport:
+    def test_progress_events_cover_every_cell(self):
+        events = []
+        grid = tiny_grid()
+        GridSession("threads", progress=events.append).run(grid)
+        assert len(events) == len(grid)
+        assert {e.done for e in events} == set(range(1, len(grid) + 1))
+        assert all(e.total == len(grid) and e.ok for e in events)
+        assert {e.source for e in events} == {"executed"}
+
+    def test_progress_reports_cache_source(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        GridSession(cache=cache).run([tiny_scenario()])
+        events = []
+        GridSession(cache=cache, progress=events.append).run([tiny_scenario()])
+        assert [e.source for e in events] == ["cache"]
+
+    def test_collect_false_streams_to_sink_only(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        report = GridSession(sink=JsonlSink(path), collect=False).run(tiny_grid())
+        assert report.outcomes is None
+        with pytest.raises(ScenarioError, match="collect=False"):
+            report.results()
+        assert len(JsonlSink.load(path)) == report.total
+
+
+# ----------------------------------------------------------------------
+class TestRackCorrelated:
+    def topology(self):
+        return tiny_recipe().build()
+
+    def params(self):
+        # Round-robin over (n0, n1, n2): S[0]->n0, S[1]->n1, A[0]->n2,
+        # A[1]->n0, B[0]->n1.
+        return {"n0": "rack-a", "n1": "rack-a", "n2": "rack-b"}
+
+    def test_rack_failure_kills_its_tasks(self):
+        model = FAILURE_MODELS.get("rack-correlated")
+        victims = model(self.topology(), frozenset(), seed=0,
+                        placement=self.params(), racks=["rack-b"])
+        assert set(victims) == {TaskId("A", 0)}
+
+    def test_whole_rack_with_sources(self):
+        model = FAILURE_MODELS.get("rack-correlated")
+        victims = model(self.topology(), frozenset(), seed=0,
+                        placement=self.params(), rack="rack-a")
+        assert set(victims) == {TaskId("S", 0), TaskId("S", 1),
+                                TaskId("A", 1), TaskId("B", 0)}
+
+    def test_include_sources_false_spares_sources(self):
+        model = FAILURE_MODELS.get("rack-correlated")
+        victims = model(self.topology(), frozenset(), seed=0,
+                        placement=self.params(), rack="rack-a",
+                        include_sources=False)
+        assert set(victims) == {TaskId("A", 1), TaskId("B", 0)}
+
+    def test_explicit_assignment_overrides_round_robin(self):
+        model = FAILURE_MODELS.get("rack-correlated")
+        victims = model(self.topology(), frozenset(), seed=0,
+                        placement=self.params(), racks=["rack-b"],
+                        assignment={"B[0]": "n2", "A[0]": "n0"})
+        assert set(victims) == {TaskId("B", 0)}
+
+    def test_unknown_rack_rejected(self):
+        model = FAILURE_MODELS.get("rack-correlated")
+        with pytest.raises(ScenarioError, match="unknown rack"):
+            model(self.topology(), frozenset(), seed=0,
+                  placement=self.params(), rack="rack-z")
+
+    def test_empty_placement_rejected(self):
+        model = FAILURE_MODELS.get("rack-correlated")
+        with pytest.raises(ScenarioError, match="placement"):
+            model(self.topology(), frozenset(), seed=0, placement={},
+                  rack="rack-a")
+
+    def test_missing_racks_rejected(self):
+        model = FAILURE_MODELS.get("rack-correlated")
+        with pytest.raises(ScenarioError, match="racks"):
+            model(self.topology(), frozenset(), seed=0,
+                  placement=self.params())
+
+    def test_underscore_alias_registered(self):
+        assert "rack_correlated" in FAILURE_MODELS
+        assert (FAILURE_MODELS.get("rack_correlated")
+                is FAILURE_MODELS.get("rack-correlated"))
+
+    def test_end_to_end_scenario_run(self):
+        result = run_scenario(tiny_scenario(failures=(
+            FailureSpec("rack-correlated", at=8.0,
+                        params={"placement": self.params(),
+                                "racks": ["rack-b"]}),
+        )))
+        assert result.failed_tasks == (TaskId("A", 0),)
+        assert result.all_recovered
+
+
+# ----------------------------------------------------------------------
+class TestWorkersShim:
+    def test_workers_validated_before_empty_early_return(self):
+        with pytest.raises(ScenarioError, match="workers"):
+            run_scenarios([], workers=0)
+
+    def test_workers_deprecated_but_equivalent(self):
+        scenarios = [tiny_scenario(seed=s, duration=12.0) for s in (0, 1, 2)]
+        serial = run_scenarios(scenarios)
+        with pytest.deprecated_call():
+            shimmed = run_scenarios(scenarios, workers=2)
+        assert [r.to_dict() for r in shimmed] == [r.to_dict() for r in serial]
+
+    def test_workers_and_backend_are_exclusive(self):
+        with pytest.raises(ScenarioError, match="not both"):
+            run_scenarios([tiny_scenario()], workers=2, backend="serial")
+
+    def test_workers_rejects_new_api_keywords_loudly(self, tmp_path):
+        with pytest.raises(ScenarioError, match="does not support sink"):
+            run_scenarios([tiny_scenario()], workers=2,
+                          sink=JsonlSink(tmp_path / "x.jsonl"))
+        with pytest.raises(ScenarioError, match="does not support cache"):
+            run_scenarios([tiny_scenario()], workers=2,
+                          cache=ScenarioCache(tmp_path))

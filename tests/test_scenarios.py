@@ -393,12 +393,19 @@ class TestGrid:
         with pytest.raises(ScenarioError, match="empty"):
             expand_grid(tiny_scenario(), {"budget": []})
 
-    def test_grid_deterministic_with_and_without_workers(self):
+    def test_grid_deterministic_across_backends(self):
         base = tiny_scenario(duration=12.0)
         serial = run_grid(base, self.AXES)
-        parallel = run_grid(base, self.AXES, workers=2)
+        parallel = run_grid(base, self.AXES, backend="processes")
         assert len(serial) == len(parallel) == 12
         assert [r.to_dict() for r in serial] == [r.to_dict() for r in parallel]
+
+    def test_deprecated_workers_shim_still_works(self):
+        base = tiny_scenario(duration=12.0)
+        serial = run_grid(base, self.AXES)
+        with pytest.deprecated_call():
+            shimmed = run_grid(base, self.AXES, workers=2)
+        assert [r.to_dict() for r in serial] == [r.to_dict() for r in shimmed]
 
     def test_run_grid_without_axes_runs_base(self):
         results = run_grid(tiny_scenario())
