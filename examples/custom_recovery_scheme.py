@@ -1,0 +1,63 @@
+"""Plug a custom fault-tolerance scheme into the engine in ~10 lines.
+
+The engine resolves its recovery protocol through the RECOVERY_SCHEMES
+registry, so a new scheme is a subclass + a decorator — no engine edits.
+This one ("tiered") hot-replicates only the *deep* half of the topology
+(operators far from the sources, whose state is the most expensive to
+rebuild by replay) and lets the shallow half recover from checkpoints:
+a middle ground between the paper's PPA plans and full active-standby.
+
+The scheme then composes with everything built on the engine: scenarios
+select it by name via `recovery=`, grids sweep it against the built-ins,
+and the content-addressed cache keys on it automatically.
+
+Run:  python examples/custom_recovery_scheme.py
+"""
+
+from repro import RECOVERY_SCHEMES, FailureSpec, RecoveryScheme, Scenario, run_scenarios
+
+
+# The whole plug-in: which tasks get a hot replica.  Takeover, checkpoint
+# restore, replay and forging are inherited from the base machinery.
+@RECOVERY_SCHEMES.register("tiered")
+class TieredScheme(RecoveryScheme):
+    """Active replicas for the deeper half of the dataflow, passive rest."""
+
+    name = "tiered"
+
+    def replicated_tasks(self, topology, planned):
+        depth = {}
+        for name in topology.topological_order():
+            ups = topology.upstream_of(name)
+            depth[name] = 1 + max((depth[u] for u in ups), default=-1)
+        cutoff = max(depth.values()) / 2
+        return frozenset(t for t in topology.tasks()
+                         if depth[t.operator] > cutoff)
+
+
+def main():
+    scenarios = [
+        Scenario(
+            name=scheme,
+            workload="synthetic",
+            workload_params={"rate_per_source": 1000.0, "window_seconds": 10.0,
+                             "tuple_scale": 16.0},
+            planner="none",
+            engine={"checkpoint_interval": 15.0},
+            recovery=scheme,
+            failures=(FailureSpec("correlated", at=45.0),),
+            duration=60.0,
+        )
+        for scheme in ("checkpoint-replay", "tiered", "active-standby")
+    ]
+    print("correlated failure of all 15 operator tasks, Fig. 6 workload:\n")
+    for result in run_scenarios(scenarios):
+        modes = sorted({r.mode for r in result.recoveries})
+        print(f"  {result.scenario.name:18s} max latency "
+              f"{result.max_recovery_latency:6.2f}s  modes={modes}")
+    print("\n'tiered' recovers the deep tasks by takeover and the shallow "
+          "ones\nfrom checkpoints - between the two built-in extremes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -68,18 +68,22 @@ from repro.scenarios import (
     EXECUTION_BACKENDS,
     FAILURE_MODELS,
     PLANNERS,
+    RECOVERY_SCHEMES,
     RESULT_SINKS,
     WORKLOADS,
     CellError,
     EdgeDef,
     ExecutionBackend,
     FailureSpec,
+    FailureWave,
     GridReport,
     GridSession,
     JsonlSink,
     MemorySink,
     OperatorDef,
     ProgressEvent,
+    RecoveryContext,
+    RecoveryScheme,
     ResultSink,
     Scenario,
     ScenarioCache,
@@ -125,6 +129,7 @@ __all__ = [
     "ExperimentError",
     "FAILURE_MODELS",
     "FailureSpec",
+    "FailureWave",
     "FullTopologyPlanner",
     "GreedyPlanner",
     "GridReport",
@@ -143,8 +148,11 @@ __all__ = [
     "Planner",
     "PlanningError",
     "ProgressEvent",
+    "RECOVERY_SCHEMES",
     "RESULT_SINKS",
     "RateError",
+    "RecoveryContext",
+    "RecoveryScheme",
     "ReplicationPlan",
     "ReproError",
     "ResultSink",

@@ -16,6 +16,12 @@ from repro.engine.metrics import (
     RecoveryRecord,
     TaskCpu,
 )
+from repro.engine.recovery import (
+    RECOVERY_SCHEMES,
+    RecoveryContext,
+    RecoveryScheme,
+    create_scheme,
+)
 from repro.engine.routing import Router, stable_hash
 from repro.engine.tasks import TaskRuntime, TaskStatus
 from repro.engine.tuples import Batch, KeyedTuple, SinkRecord, forged_batch
@@ -35,8 +41,11 @@ __all__ = [
     "NodeKind",
     "OperatorLogic",
     "PassiveStrategy",
+    "RECOVERY_SCHEMES",
+    "RecoveryContext",
     "RecoveryMode",
     "RecoveryRecord",
+    "RecoveryScheme",
     "Router",
     "Simulator",
     "SinkRecord",
@@ -45,6 +54,7 @@ __all__ = [
     "TaskCpu",
     "TaskRuntime",
     "TaskStatus",
+    "create_scheme",
     "forged_batch",
     "stable_hash",
 ]

@@ -88,6 +88,11 @@ class EngineConfig:
     #: Stagger checkpoints across tasks (checkpoints are asynchronous in a
     #: real cluster, which is what forces recovery synchronisation).
     stagger_checkpoints: bool = True
+    #: Fault-tolerance scheme, by :data:`~repro.engine.recovery.RECOVERY_SCHEMES`
+    #: registry name: ``"ppa"`` (the paper's partially-active replication,
+    #: the default), ``"checkpoint-replay"``, ``"source-replay"``, or
+    #: ``"active-standby"``; custom schemes plug in via the registry.
+    recovery_scheme: str = "ppa"
     #: Cost model.
     costs: CostModel = field(default_factory=CostModel)
     #: Seed for any randomised choice (kept for reproducibility; the engine
@@ -103,6 +108,8 @@ class EngineConfig:
             raise SimulationError("checkpoint_interval must be positive or None")
         if self.sync_interval <= 0:
             raise SimulationError("sync_interval must be positive")
+        if not self.recovery_scheme or not isinstance(self.recovery_scheme, str):
+            raise SimulationError("recovery_scheme must be a non-empty string")
 
     @property
     def checkpoint_batches(self) -> int | None:

@@ -1,20 +1,24 @@
-"""The simulated MPSPE: batch dataflow, PPA fault tolerance, recovery.
+"""The simulated MPSPE: batch dataflow, pluggable fault tolerance, recovery.
 
 :class:`StreamEngine` executes a query topology on a simulated cluster in
-virtual time, implementing the protocols of Sec. V:
+virtual time, implementing the data-plane protocols of Sec. V:
 
 * batch processing with batch-over punctuations (a batch message *is* the
   punctuation for its index);
-* passive replication — periodic (staggered) checkpoints of operator state +
-  progress vector, with upstream output-buffer trimming;
-* partially active replication — tasks in the plan keep a hot replica that
-  processes the same input; on failure it takes over after resending the
-  output buffered since the last primary sync;
-* failure detection by heartbeat, and recovery by replica takeover,
-  checkpoint restore + upstream replay, or source replay through the whole
-  topology (vanilla Storm baseline);
-* tentative outputs — the master forges batch-over punctuations for failed
-  tasks so downstream tasks keep producing (tainted) output.
+* periodic (staggered) checkpoints of operator state + progress vector,
+  with upstream output-buffer trimming;
+* failure injection and detection by heartbeat.
+
+What happens *after* a failure is detected — replica takeover, checkpoint
+restore + upstream replay, source replay through the whole topology, forged
+batch-over punctuations — is delegated to a pluggable
+:class:`~repro.engine.recovery.RecoveryScheme` selected by
+:attr:`EngineConfig.recovery_scheme <repro.engine.config.EngineConfig>`
+(``"ppa"`` by default, the paper's partially-active replication).  Schemes
+interact with the run exclusively through a
+:class:`~repro.engine.recovery.RecoveryContext` capability object; see
+:mod:`repro.engine.recovery` for the strategy protocol and the
+:data:`~repro.engine.recovery.RECOVERY_SCHEMES` registry.
 
 Determinism: all scheduling goes through :class:`~repro.engine.events.Simulator`
 with stable tie-breaking, keys route via CRC32, and operator logic is
@@ -28,13 +32,14 @@ from typing import Iterable, Mapping, Sequence
 from repro.core.plans import ReplicationPlan
 from repro.engine.checkpoint import Checkpoint, CheckpointStore
 from repro.engine.cluster import Cluster
-from repro.engine.config import EngineConfig, PassiveStrategy
+from repro.engine.config import EngineConfig
 from repro.engine.events import Simulator
 from repro.engine.logic import LogicFactory
-from repro.engine.metrics import MetricsCollector, RecoveryMode
+from repro.engine.metrics import MetricsCollector
+from repro.engine.recovery import RecoveryContext, create_scheme
 from repro.engine.routing import Router, stable_hash
 from repro.engine.tasks import TaskRuntime, TaskStatus
-from repro.engine.tuples import Batch, KeyedTuple, SinkRecord, forged_batch
+from repro.engine.tuples import Batch, KeyedTuple, SinkRecord
 from repro.errors import SimulationError
 from repro.topology.graph import Topology
 from repro.topology.operators import TaskId
@@ -57,8 +62,7 @@ class StreamEngine:
             self.plan = plan
         else:
             self.plan = ReplicationPlan(frozenset(plan))
-        self.replicated = self.plan.replicated
-        unknown = self.replicated - set(topology.tasks())
+        unknown = self.plan.replicated - set(topology.tasks())
         if unknown:
             raise SimulationError(f"plan references unknown tasks: {sorted(unknown)}")
         self.source_replay_window_batches = source_replay_window_batches
@@ -71,6 +75,14 @@ class StreamEngine:
         self._detected_nodes: set[str] = set()
         self._end_time = 0.0
         self._started = False
+
+        # The fault-tolerance scheme decides which tasks get hot replicas
+        # and owns everything that happens after a failure is detected.
+        self.scheme = create_scheme(self.config.recovery_scheme)
+        self.scheme.attach(RecoveryContext(self))
+        self.replicated = self.scheme.replicated_tasks(
+            topology, self.plan.replicated
+        )
 
         self.runtimes: dict[TaskId, TaskRuntime] = {}
         self._build_runtimes()
@@ -172,7 +184,7 @@ class StreamEngine:
         self._emit_outputs(rt, index, tuples, complete=True)
         self._maybe_checkpoint(rt, index, state_tuples=0, state=None)
         if rt.status is TaskStatus.RECOVERING:  # pragma: no cover - defensive
-            self._check_recovered(rt)
+            self.scheme.check_recovered(rt)
 
     # ------------------------------------------------------------------
     # Batch processing
@@ -257,7 +269,7 @@ class StreamEngine:
         if self.config.checkpoint_interval is None:
             self._ack_storm_style(rt, index)
         if rt.status is TaskStatus.RECOVERING:
-            self._check_recovered(rt)
+            self.scheme.check_recovered(rt)
         self._try_process(rt)
 
     # ------------------------------------------------------------------
@@ -311,22 +323,14 @@ class StreamEngine:
             rt.fail_time = self.sim.now
             rt.pre_failure_progress = rt.snapshot_progress()
             rt.pre_failure_emitted = rt.emitted
-            if rt.replicated:
-                # The hot replica keeps processing; outputs are held until
-                # takeover re-routes subscribers to it.
-                rt.status = TaskStatus.FAILOVER
-            else:
-                rt.status = TaskStatus.FAILED
-                rt.incarnation += 1
-                rt.processing = False
-                rt.inbox.clear()
+            self.scheme.on_task_failed(rt)
 
     def _heartbeat(self) -> None:
         for node in self.cluster.workers:
             if node.failed and node.name not in self._detected_nodes:
                 self._detected_nodes.add(node.name)
                 for task in sorted(node.tasks):
-                    self._on_failure_detected(self.runtimes[task])
+                    self.scheme.on_failure_detected(self.runtimes[task])
         undetected = any(
             n.failed and n.name not in self._detected_nodes
             for n in self.cluster.workers
@@ -334,237 +338,6 @@ class StreamEngine:
         next_beat = self.sim.now + self.config.heartbeat_interval
         if next_beat <= self._end_time + 1e-9 or undetected:
             self.sim.at(next_beat, self._heartbeat, priority=-2)
-
-    def _on_failure_detected(self, rt: TaskRuntime) -> None:
-        assert rt.fail_time is not None
-        if rt.status is TaskStatus.FAILOVER:
-            record = self.metrics.record_recovery_start(
-                rt.task, RecoveryMode.ACTIVE, rt.fail_time, self.sim.now
-            )
-            rt.recovery_record = record
-            costs = self.config.costs
-            resend = rt.buffered_tuples(rt.replica_synced, rt.emitted)
-            delay = costs.takeover_fixed + resend * costs.per_tuple_resend
-            self.metrics.cpu_of(rt.task).replay += resend * costs.per_tuple_resend
-            self.sim.after(delay, lambda: self._complete_takeover(rt))
-            return
-        if rt.status is not TaskStatus.FAILED:
-            return
-        mode = (
-            RecoveryMode.CHECKPOINT
-            if self.config.passive_strategy is PassiveStrategy.CHECKPOINT
-            else RecoveryMode.SOURCE_REPLAY
-        )
-        record = self.metrics.record_recovery_start(
-            rt.task, mode, rt.fail_time, self.sim.now
-        )
-        rt.recovery_record = record
-        if self.config.tentative_outputs:
-            self._start_forging(rt)
-        if self.config.recovery_enabled:
-            self.sim.after(
-                self.config.costs.restart_delay, lambda: self._restore_task(rt)
-            )
-
-    def _complete_takeover(self, rt: TaskRuntime) -> None:
-        if rt.status is not TaskStatus.FAILOVER:
-            return
-        rt.status = TaskStatus.RUNNING
-        held, rt.held_outputs = rt.held_outputs, []
-        for _dst, batch in held:
-            self._send(batch)
-        if rt.recovery_record is not None:
-            rt.recovery_record.recovered_time = self.sim.now
-        self._serve_pending_replays(rt)
-        self._try_process(rt)
-
-    # ------------------------------------------------------------------
-    # Passive recovery
-    # ------------------------------------------------------------------
-    def _restore_task(self, rt: TaskRuntime) -> None:
-        if rt.status is not TaskStatus.FAILED:
-            return
-        rt.status = TaskStatus.RECOVERING
-        costs = self.config.costs
-        checkpoint = (
-            self.checkpoints.latest(rt.task)
-            if self.config.passive_strategy is PassiveStrategy.CHECKPOINT
-            else None
-        )
-        if rt.is_source:
-            self._restore_source(rt, checkpoint)
-            return
-
-        rt.logic = self.logic_factory.logic_for(rt.task)
-        if checkpoint is not None:
-            load = checkpoint.state_tuples * costs.per_tuple_load
-            rt.busy_until = self.sim.now + load
-            self.metrics.cpu_of(rt.task).replay += load
-            if checkpoint.state is not None:
-                rt.logic.restore(checkpoint.state)
-            rt.next_batch = checkpoint.batch_index + 1
-            rt.progress = dict(checkpoint.progress)
-            rt.emitted = checkpoint.batch_index
-        elif self.config.passive_strategy is PassiveStrategy.CHECKPOINT:
-            # The task died before its first checkpoint: cold restart from
-            # batch 0. Its upstream buffers are fully retained because it
-            # never acknowledged a checkpoint, so replay covers everything.
-            rt.next_batch = 0
-            rt.progress = {u: -1 for u in rt.expected_upstreams}
-            rt.emitted = -1
-            rt.busy_until = self.sim.now
-        else:
-            # Source-replay (Storm) restart: empty state; rebuild the window
-            # by reprocessing the last `source_replay_window_batches` batches.
-            current = int(self.sim.now / self.config.batch_interval)
-            start = max(0, current - self.source_replay_window_batches)
-            rt.next_batch = start
-            rt.progress = {u: start - 1 for u in rt.expected_upstreams}
-            rt.emitted = start - 1
-            rt.busy_until = self.sim.now
-
-        for upstream in rt.expected_upstreams:
-            self._request_replay(self.runtimes[upstream], rt, rt.next_batch - 1)
-        self._serve_pending_replays(rt)
-        self._check_recovered(rt)
-        self._try_process(rt)
-
-    def _restore_source(self, rt: TaskRuntime, checkpoint: Checkpoint | None) -> None:
-        # Sources always resume from their log offset (no data loss): the
-        # checkpoint only matters for the progress bookkeeping.
-        rt.status = TaskStatus.RECOVERING
-        rt.busy_until = self.sim.now
-        backlog_start = rt.next_batch
-        due = int(self.sim.now / self.config.batch_interval) - 1
-        due = min(due, int(self._end_time / self.config.batch_interval) - 1)
-        for index in range(backlog_start, due + 1):
-            self._produce_source_batch(rt, index)
-        self._check_recovered(rt)
-        if rt.status is TaskStatus.RECOVERING:
-            # Not caught up only if there was nothing to emit yet.
-            self._check_recovered(rt)
-        self._serve_pending_replays(rt)
-        self._schedule_source_emission(rt, rt.next_batch)
-
-    def _check_recovered(self, rt: TaskRuntime) -> None:
-        if rt.status is not TaskStatus.RECOVERING:
-            return
-        if not rt.caught_up():
-            return
-        rt.status = TaskStatus.RUNNING
-        if rt.recovery_record is not None and rt.recovery_record.recovered_time is None:
-            rt.recovery_record.recovered_time = max(self.sim.now, rt.busy_until)
-        self._serve_pending_replays(rt)
-
-    # ------------------------------------------------------------------
-    # Replay
-    # ------------------------------------------------------------------
-    def _request_replay(self, up: TaskRuntime, sub: TaskRuntime,
-                        from_exclusive: int) -> None:
-        if up.status in (TaskStatus.FAILED, TaskStatus.FAILOVER):
-            up.pending_replays[sub.task] = min(
-                up.pending_replays.get(sub.task, from_exclusive), from_exclusive
-            )
-            return
-        # RUNNING or RECOVERING: serve what the buffer already covers; the
-        # rest arrives through the upstream's own catch-up emissions.
-        self._serve_replay(up, sub, from_exclusive, up.emitted)
-
-    def _serve_pending_replays(self, rt: TaskRuntime) -> None:
-        pending, rt.pending_replays = rt.pending_replays, {}
-        for sub_task, from_exclusive in sorted(pending.items()):
-            self._serve_replay(rt, self.runtimes[sub_task], from_exclusive, rt.emitted)
-
-    def _serve_replay(self, up: TaskRuntime, sub: TaskRuntime,
-                      from_exclusive: int, upto: int) -> None:
-        """Resend ``up``'s buffered output batches ``(from, upto]`` to ``sub``."""
-        costs = self.config.costs
-        indices = [
-            i for i in range(from_exclusive + 1, upto + 1)
-            if i in up.history and sub.task in up.history[i]
-        ]
-        if not indices:
-            return
-        pruned = [i for i in indices if i <= up.trimmed_upto]
-        ready = self.sim.now
-        if pruned:
-            ready = self._ensure_recomputed(up, min(pruned), max(pruned))
-        cursor = max(ready, self.sim.now)
-        for index in indices:
-            batch = up.history[index][sub.task]
-            resend_cost = batch.size * costs.per_tuple_resend
-            cursor = max(cursor, up.busy_until) + resend_cost
-            up.busy_until = cursor
-            self.metrics.cpu_of(up.task).replay += resend_cost
-            send_at = cursor + costs.network_delay
-            self.sim.at(send_at, lambda b=batch: self._deliver(b))
-
-    def _ensure_recomputed(self, rt: TaskRuntime, lo: int, hi: int) -> float:
-        """Virtual time when ``rt`` has regenerated output batches [lo, hi].
-
-        Models Storm's source replay: pruned batches must be recomputed by
-        replaying the inputs through every task between the sources and this
-        one, charging reprocessing CPU along the chain.
-        """
-        if rt.recompute_cover is not None:
-            c_lo, c_hi, c_ready = rt.recompute_cover
-            if c_lo <= lo and hi <= c_hi:
-                return c_ready
-            lo, hi = min(lo, c_lo), max(hi, c_hi)
-        costs = self.config.costs
-        if rt.is_source:
-            # Reading the source log back costs resend time per tuple.
-            tuples = rt.buffered_tuples(lo - 1, hi)
-            ready = max(self.sim.now, rt.busy_until) + tuples * costs.per_tuple_resend
-            rt.busy_until = ready
-            self.metrics.cpu_of(rt.task).replay += tuples * costs.per_tuple_resend
-        else:
-            upstream_ready = self.sim.now
-            input_tuples = 0
-            for upstream in rt.expected_upstreams:
-                up = self.runtimes[upstream]
-                pruned_input = up.trimmed_upto >= lo
-                if pruned_input:
-                    upstream_ready = max(
-                        upstream_ready, self._ensure_recomputed(up, lo, hi)
-                    )
-                input_tuples += sum(
-                    up.history[i][rt.task].size
-                    for i in range(lo, hi + 1)
-                    if i in up.history and rt.task in up.history[i]
-                )
-            cost = input_tuples * costs.per_tuple_process
-            ready = max(upstream_ready, rt.busy_until, self.sim.now) + cost
-            rt.busy_until = ready
-            self.metrics.cpu_of(rt.task).replay += cost
-        rt.recompute_cover = (lo, hi, ready)
-        return ready
-
-    # ------------------------------------------------------------------
-    # Tentative outputs (forged punctuations)
-    # ------------------------------------------------------------------
-    def _start_forging(self, failed: TaskRuntime) -> None:
-        subscribers = self.topology.downstream_tasks(failed.task)
-        for sub in subscribers:
-            self._schedule_forge(failed, self.runtimes[sub], failed.emitted + 1)
-
-    def _schedule_forge(self, failed: TaskRuntime, sub: TaskRuntime,
-                        index: int) -> None:
-        due = (index + 1) * self.config.batch_interval + self.config.costs.network_delay
-        if due > self._end_time + 1e-9:
-            return
-        self.sim.at(max(due, self.sim.now),
-                    lambda: self._forge(failed, sub, index))
-
-    def _forge(self, failed: TaskRuntime, sub: TaskRuntime, index: int) -> None:
-        if failed.status is TaskStatus.RUNNING:
-            return  # recovered: downstream waits for real batches again
-        if failed.emitted < index:
-            batch = forged_batch(failed.task, sub.task, index)
-            if sub.alive() and sub.inbox_put(batch):
-                self.metrics.batches_forged += 1
-                self._try_process(sub)
-        self._schedule_forge(failed, sub, index + 1)
 
     # ------------------------------------------------------------------
     # Introspection helpers

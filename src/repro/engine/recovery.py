@@ -1,0 +1,555 @@
+"""Pluggable fault-tolerance schemes: the engine's recovery strategy API.
+
+The protocols of Sec. V — replica takeover, checkpoint restore + upstream
+replay, source replay through the whole topology, and forged batch-over
+punctuations — used to be hard-wired into :class:`StreamEngine`.  They now
+live behind a strategy interface so new fault-tolerance schemes plug in as
+registry entries instead of engine edits:
+
+* :class:`RecoveryScheme` — the strategy protocol.  The base class ships the
+  full PPA machinery (failure classification, takeover, restore, replay
+  serving, recompute-on-replay, forging) as overridable methods, so most
+  schemes are a handful of lines;
+* :class:`RecoveryContext` — the capability object handed to schemes.  It is
+  the *only* surface a scheme sees: virtual time and scheduling, config,
+  metrics, per-task runtimes, checkpoint store, and the engine's data-plane
+  operations (send/deliver/try-process/source emission).  Schemes never
+  touch engine internals directly;
+* :data:`RECOVERY_SCHEMES` — the string-keyed registry mirroring
+  ``PLANNERS``/``FAILURE_MODELS``, selected via
+  :attr:`EngineConfig.recovery_scheme <repro.engine.config.EngineConfig>`.
+
+Built-in schemes
+----------------
+
+==================== =====================================================
+``"ppa"``            Partially-active replication (the paper's system):
+                     planned tasks keep a hot replica, everything else
+                     recovers passively per ``config.passive_strategy``.
+``"checkpoint-replay"`` Pure passive recovery: no replicas, restore the
+                     latest checkpoint and replay upstream buffers.
+``"source-replay"``  Vanilla Storm: no replicas, no checkpoint restore —
+                     rebuild state by replaying source data through the
+                     whole topology.
+``"active-standby"`` Every task (sources included) keeps a hot replica —
+                     the fully-active upper bound the paper compares PPA
+                     against; the replication plan is ignored.
+==================== =====================================================
+
+A custom scheme is ~10 lines:
+
+>>> from repro.engine.recovery import RECOVERY_SCHEMES, RecoveryScheme
+>>> @RECOVERY_SCHEMES.register("sources-active")
+... class SourcesActive(RecoveryScheme):
+...     '''Hot-replicate only source tasks; everything else is passive.'''
+...     name = "sources-active"
+...     def replicated_tasks(self, topology, planned):
+...         return frozenset(t for t in topology.tasks()
+...                          if topology.operator(t.operator).is_source)
+>>> "sources-active" in RECOVERY_SCHEMES
+True
+>>> RECOVERY_SCHEMES.unregister("sources-active")
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, AbstractSet, Callable
+
+from repro.engine.config import EngineConfig, PassiveStrategy
+from repro.engine.metrics import MetricsCollector, RecoveryMode
+from repro.engine.tasks import TaskRuntime, TaskStatus
+from repro.engine.tuples import Batch, forged_batch
+from repro.errors import SimulationError
+from repro.registry import Registry
+from repro.topology.graph import Topology
+from repro.topology.operators import TaskId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.checkpoint import Checkpoint
+    from repro.engine.engine import StreamEngine
+    from repro.engine.logic import OperatorLogic
+
+#: Recovery-scheme factories: ``fn() -> RecoveryScheme``.  One instance is
+#: created per engine run, so schemes may keep per-run state.
+RECOVERY_SCHEMES: Registry = Registry("recovery scheme", error=SimulationError)
+
+
+def create_scheme(name: str) -> "RecoveryScheme":
+    """Instantiate the registered recovery scheme ``name``."""
+    factory = RECOVERY_SCHEMES.get(name)
+    scheme = factory()
+    if not isinstance(scheme, RecoveryScheme):
+        raise SimulationError(
+            f"recovery scheme {name!r} built a {type(scheme).__name__}, "
+            f"not a RecoveryScheme"
+        )
+    return scheme
+
+
+class RecoveryContext:
+    """The engine-facing capability surface handed to a recovery scheme.
+
+    Wraps one :class:`~repro.engine.engine.StreamEngine` run and exposes
+    exactly what fault-tolerance protocols need — nothing else.  Keeping
+    schemes behind this facade means the engine's internals can evolve
+    without breaking third-party schemes, and a scheme can be unit-tested
+    against a stub context.
+    """
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, engine: "StreamEngine"):
+        self._engine = engine
+
+    # -- static facts ---------------------------------------------------
+    @property
+    def config(self) -> EngineConfig:
+        """The run's engine configuration (intervals, costs, switches)."""
+        return self._engine.config
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        """The run's metrics collector (CPU accounting, recovery records)."""
+        return self._engine.metrics
+
+    @property
+    def topology(self) -> Topology:
+        """The query topology under execution."""
+        return self._engine.topology
+
+    @property
+    def end_time(self) -> float:
+        """Virtual time at which sources stop emitting."""
+        return self._engine._end_time
+
+    @property
+    def source_replay_window_batches(self) -> int:
+        """Batches a source-replay restart reprocesses to rebuild windows."""
+        return self._engine.source_replay_window_batches
+
+    @property
+    def planned_tasks(self) -> frozenset[TaskId]:
+        """The replication plan's task set (planner provenance intact)."""
+        return self._engine.plan.replicated
+
+    # -- virtual time and scheduling ------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._engine.sim.now
+
+    def at(self, time: float, fn: Callable[[], None], priority: int = 0) -> None:
+        """Schedule ``fn`` at absolute virtual time ``time``."""
+        self._engine.sim.at(time, fn, priority)
+
+    def after(self, delay: float, fn: Callable[[], None], priority: int = 0) -> None:
+        """Schedule ``fn`` ``delay`` virtual seconds from now."""
+        self._engine.sim.after(delay, fn, priority)
+
+    # -- tasks and state ------------------------------------------------
+    def runtime(self, task: TaskId) -> TaskRuntime:
+        """The runtime of ``task``."""
+        return self._engine.runtimes[task]
+
+    def downstream_tasks(self, task: TaskId) -> tuple[TaskId, ...]:
+        """The tasks subscribed to ``task``'s output."""
+        return self._engine.topology.downstream_tasks(task)
+
+    def latest_checkpoint(self, task: TaskId) -> "Checkpoint | None":
+        """The most recent checkpoint of ``task``, if any."""
+        return self._engine.checkpoints.latest(task)
+
+    def make_logic(self, task: TaskId) -> "OperatorLogic":
+        """A fresh (empty-state) logic instance for ``task``."""
+        return self._engine.logic_factory.logic_for(task)
+
+    # -- data-plane operations ------------------------------------------
+    def send(self, batch: Batch) -> None:
+        """Send ``batch`` downstream with the normal network delay."""
+        self._engine._send(batch)
+
+    def deliver(self, batch: Batch) -> None:
+        """Deliver ``batch`` to its destination immediately (post-delay)."""
+        self._engine._deliver(batch)
+
+    def try_process(self, rt: TaskRuntime) -> None:
+        """Let ``rt`` process its next batch if the inbox is ready."""
+        self._engine._try_process(rt)
+
+    def produce_source_batch(self, rt: TaskRuntime, index: int) -> None:
+        """Make source task ``rt`` produce batch ``index`` now."""
+        self._engine._produce_source_batch(rt, index)
+
+    def schedule_source_emission(self, rt: TaskRuntime, index: int) -> None:
+        """Re-arm source ``rt``'s normal emission chain at batch ``index``."""
+        self._engine._schedule_source_emission(rt, index)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"RecoveryContext({self._engine!r})"
+
+
+class RecoveryScheme:
+    """Strategy protocol for fault tolerance, with PPA as the base machinery.
+
+    The engine drives a scheme through four hooks:
+
+    * :meth:`replicated_tasks` — at construction, which tasks get a hot
+      replica (sets ``TaskRuntime.replicated``);
+    * :meth:`on_task_failed` — at failure *injection*, classify the task
+      (``FAILOVER`` when a replica keeps running, ``FAILED`` otherwise);
+    * :meth:`on_failure_detected` — at the heartbeat that *detects* the
+      failure, start takeover or passive recovery;
+    * :meth:`check_recovered` — after every processed batch of a
+      ``RECOVERING`` task, to finish recovery at progress catch-up.
+
+    Everything else (takeover, restore, replay serving, recompute of pruned
+    buffers, forged punctuations) is machinery the base class implements in
+    terms of :class:`RecoveryContext`; subclasses override what differs.
+    """
+
+    #: Registry key, repeated on the class for introspection/rendering.
+    name = "ppa"
+
+    def __init__(self) -> None:
+        self.ctx: RecoveryContext = None  # type: ignore[assignment]
+
+    def attach(self, ctx: RecoveryContext) -> None:
+        """Bind this (per-run) scheme instance to an engine run."""
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------
+    # Policy knobs (what the built-in schemes override)
+    # ------------------------------------------------------------------
+    def replicated_tasks(self, topology: Topology,
+                         planned: AbstractSet[TaskId]) -> frozenset[TaskId]:
+        """Which tasks keep a hot replica.  PPA: exactly the plan."""
+        return frozenset(planned)
+
+    def passive_mode(self) -> RecoveryMode:
+        """How tasks without a replica recover.  PPA: per the config knob."""
+        if self.ctx.config.passive_strategy is PassiveStrategy.CHECKPOINT:
+            return RecoveryMode.CHECKPOINT
+        return RecoveryMode.SOURCE_REPLAY
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def on_task_failed(self, rt: TaskRuntime) -> None:
+        """Classify a just-killed task (engine has set fail-time snapshots)."""
+        if rt.replicated:
+            # The hot replica keeps processing; outputs are held until
+            # takeover re-routes subscribers to it.
+            rt.status = TaskStatus.FAILOVER
+        else:
+            self.fail_unreplicated(rt)
+
+    def fail_unreplicated(self, rt: TaskRuntime) -> None:
+        """Mark ``rt`` dead with nothing standing in: await recovery."""
+        rt.status = TaskStatus.FAILED
+        rt.incarnation += 1
+        rt.processing = False
+        rt.inbox.clear()
+
+    # ------------------------------------------------------------------
+    # Failure detection (called from the master's heartbeat)
+    # ------------------------------------------------------------------
+    def on_failure_detected(self, rt: TaskRuntime) -> None:
+        """Start takeover (FAILOVER) or passive recovery (FAILED)."""
+        assert rt.fail_time is not None
+        ctx = self.ctx
+        if rt.status is TaskStatus.FAILOVER:
+            record = ctx.metrics.record_recovery_start(
+                rt.task, RecoveryMode.ACTIVE, rt.fail_time, ctx.now
+            )
+            rt.recovery_record = record
+            costs = ctx.config.costs
+            resend = rt.buffered_tuples(rt.replica_synced, rt.emitted)
+            delay = costs.takeover_fixed + resend * costs.per_tuple_resend
+            ctx.metrics.cpu_of(rt.task).replay += resend * costs.per_tuple_resend
+            ctx.after(delay, lambda: self.complete_takeover(rt))
+            return
+        if rt.status is not TaskStatus.FAILED:
+            return
+        record = ctx.metrics.record_recovery_start(
+            rt.task, self.passive_mode(), rt.fail_time, ctx.now
+        )
+        rt.recovery_record = record
+        if ctx.config.tentative_outputs:
+            self.start_forging(rt)
+        if ctx.config.recovery_enabled:
+            ctx.after(
+                ctx.config.costs.restart_delay, lambda: self.restore_task(rt)
+            )
+
+    def complete_takeover(self, rt: TaskRuntime) -> None:
+        """Replica becomes primary: flush held outputs, resume serving."""
+        if rt.status is not TaskStatus.FAILOVER:
+            return
+        rt.status = TaskStatus.RUNNING
+        held, rt.held_outputs = rt.held_outputs, []
+        for _dst, batch in held:
+            self.ctx.send(batch)
+        if rt.recovery_record is not None:
+            rt.recovery_record.recovered_time = self.ctx.now
+        self.serve_pending_replays(rt)
+        self.ctx.try_process(rt)
+
+    # ------------------------------------------------------------------
+    # Passive recovery
+    # ------------------------------------------------------------------
+    def restore_task(self, rt: TaskRuntime) -> None:
+        """Restart ``rt`` on a standby node and begin catching up."""
+        if rt.status is not TaskStatus.FAILED:
+            return
+        ctx = self.ctx
+        rt.status = TaskStatus.RECOVERING
+        costs = ctx.config.costs
+        use_checkpoint = self.passive_mode() is RecoveryMode.CHECKPOINT
+        checkpoint = ctx.latest_checkpoint(rt.task) if use_checkpoint else None
+        if rt.is_source:
+            self.restore_source(rt, checkpoint)
+            return
+
+        rt.logic = ctx.make_logic(rt.task)
+        if checkpoint is not None:
+            load = checkpoint.state_tuples * costs.per_tuple_load
+            rt.busy_until = ctx.now + load
+            ctx.metrics.cpu_of(rt.task).replay += load
+            if checkpoint.state is not None:
+                rt.logic.restore(checkpoint.state)
+            rt.next_batch = checkpoint.batch_index + 1
+            rt.progress = dict(checkpoint.progress)
+            rt.emitted = checkpoint.batch_index
+        elif use_checkpoint:
+            # The task died before its first checkpoint: cold restart from
+            # batch 0. Its upstream buffers are fully retained because it
+            # never acknowledged a checkpoint, so replay covers everything.
+            rt.next_batch = 0
+            rt.progress = {u: -1 for u in rt.expected_upstreams}
+            rt.emitted = -1
+            rt.busy_until = ctx.now
+        else:
+            # Source-replay (Storm) restart: empty state; rebuild the window
+            # by reprocessing the last `source_replay_window_batches` batches.
+            current = int(ctx.now / ctx.config.batch_interval)
+            start = max(0, current - ctx.source_replay_window_batches)
+            rt.next_batch = start
+            rt.progress = {u: start - 1 for u in rt.expected_upstreams}
+            rt.emitted = start - 1
+            rt.busy_until = ctx.now
+
+        for upstream in rt.expected_upstreams:
+            self.request_replay(ctx.runtime(upstream), rt, rt.next_batch - 1)
+        self.serve_pending_replays(rt)
+        self.check_recovered(rt)
+        ctx.try_process(rt)
+
+    def restore_source(self, rt: TaskRuntime,
+                       checkpoint: "Checkpoint | None") -> None:
+        """Resume a source from its log offset, backfilling missed batches."""
+        # Sources always resume from their log offset (no data loss): the
+        # checkpoint only matters for the progress bookkeeping.
+        ctx = self.ctx
+        rt.status = TaskStatus.RECOVERING
+        rt.busy_until = ctx.now
+        backlog_start = rt.next_batch
+        due = int(ctx.now / ctx.config.batch_interval) - 1
+        due = min(due, int(ctx.end_time / ctx.config.batch_interval) - 1)
+        for index in range(backlog_start, due + 1):
+            ctx.produce_source_batch(rt, index)
+        self.check_recovered(rt)
+        if rt.status is TaskStatus.RECOVERING:
+            # Not caught up only if there was nothing to emit yet.
+            self.check_recovered(rt)
+        self.serve_pending_replays(rt)
+        ctx.schedule_source_emission(rt, rt.next_batch)
+
+    def check_recovered(self, rt: TaskRuntime) -> None:
+        """Finish recovery once the progress vector caught up."""
+        if rt.status is not TaskStatus.RECOVERING:
+            return
+        if not rt.caught_up():
+            return
+        rt.status = TaskStatus.RUNNING
+        if rt.recovery_record is not None and rt.recovery_record.recovered_time is None:
+            rt.recovery_record.recovered_time = max(self.ctx.now, rt.busy_until)
+        self.serve_pending_replays(rt)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def request_replay(self, up: TaskRuntime, sub: TaskRuntime,
+                       from_exclusive: int) -> None:
+        """Ask ``up`` to resend its output to ``sub`` from a batch onwards."""
+        if up.status in (TaskStatus.FAILED, TaskStatus.FAILOVER):
+            up.pending_replays[sub.task] = min(
+                up.pending_replays.get(sub.task, from_exclusive), from_exclusive
+            )
+            return
+        # RUNNING or RECOVERING: serve what the buffer already covers; the
+        # rest arrives through the upstream's own catch-up emissions.
+        self.serve_replay(up, sub, from_exclusive, up.emitted)
+
+    def serve_pending_replays(self, rt: TaskRuntime) -> None:
+        """Serve replay requests that queued up while ``rt`` was down."""
+        pending, rt.pending_replays = rt.pending_replays, {}
+        for sub_task, from_exclusive in sorted(pending.items()):
+            self.serve_replay(rt, self.ctx.runtime(sub_task), from_exclusive,
+                              rt.emitted)
+
+    def serve_replay(self, up: TaskRuntime, sub: TaskRuntime,
+                     from_exclusive: int, upto: int) -> None:
+        """Resend ``up``'s buffered output batches ``(from, upto]`` to ``sub``."""
+        ctx = self.ctx
+        costs = ctx.config.costs
+        indices = [
+            i for i in range(from_exclusive + 1, upto + 1)
+            if i in up.history and sub.task in up.history[i]
+        ]
+        if not indices:
+            return
+        pruned = [i for i in indices if i <= up.trimmed_upto]
+        ready = ctx.now
+        if pruned:
+            ready = self.ensure_recomputed(up, min(pruned), max(pruned))
+        cursor = max(ready, ctx.now)
+        for index in indices:
+            batch = up.history[index][sub.task]
+            resend_cost = batch.size * costs.per_tuple_resend
+            cursor = max(cursor, up.busy_until) + resend_cost
+            up.busy_until = cursor
+            ctx.metrics.cpu_of(up.task).replay += resend_cost
+            send_at = cursor + costs.network_delay
+            ctx.at(send_at, lambda b=batch: ctx.deliver(b))
+
+    def ensure_recomputed(self, rt: TaskRuntime, lo: int, hi: int) -> float:
+        """Virtual time when ``rt`` has regenerated output batches [lo, hi].
+
+        Models Storm's source replay: pruned batches must be recomputed by
+        replaying the inputs through every task between the sources and this
+        one, charging reprocessing CPU along the chain.
+        """
+        ctx = self.ctx
+        if rt.recompute_cover is not None:
+            c_lo, c_hi, c_ready = rt.recompute_cover
+            if c_lo <= lo and hi <= c_hi:
+                return c_ready
+            lo, hi = min(lo, c_lo), max(hi, c_hi)
+        costs = ctx.config.costs
+        if rt.is_source:
+            # Reading the source log back costs resend time per tuple.
+            tuples = rt.buffered_tuples(lo - 1, hi)
+            ready = max(ctx.now, rt.busy_until) + tuples * costs.per_tuple_resend
+            rt.busy_until = ready
+            ctx.metrics.cpu_of(rt.task).replay += tuples * costs.per_tuple_resend
+        else:
+            upstream_ready = ctx.now
+            input_tuples = 0
+            for upstream in rt.expected_upstreams:
+                up = ctx.runtime(upstream)
+                pruned_input = up.trimmed_upto >= lo
+                if pruned_input:
+                    upstream_ready = max(
+                        upstream_ready, self.ensure_recomputed(up, lo, hi)
+                    )
+                input_tuples += sum(
+                    up.history[i][rt.task].size
+                    for i in range(lo, hi + 1)
+                    if i in up.history and rt.task in up.history[i]
+                )
+            cost = input_tuples * costs.per_tuple_process
+            ready = max(upstream_ready, rt.busy_until, ctx.now) + cost
+            rt.busy_until = ready
+            ctx.metrics.cpu_of(rt.task).replay += cost
+        rt.recompute_cover = (lo, hi, ready)
+        return ready
+
+    # ------------------------------------------------------------------
+    # Tentative outputs (forged punctuations)
+    # ------------------------------------------------------------------
+    def start_forging(self, failed: TaskRuntime) -> None:
+        """Forge batch-over punctuations for ``failed`` to its subscribers."""
+        subscribers = self.ctx.downstream_tasks(failed.task)
+        for sub in subscribers:
+            self.schedule_forge(failed, self.ctx.runtime(sub),
+                                failed.emitted + 1)
+
+    def schedule_forge(self, failed: TaskRuntime, sub: TaskRuntime,
+                       index: int) -> None:
+        """Arm the forge of batch ``index`` at its natural due time."""
+        ctx = self.ctx
+        due = ((index + 1) * ctx.config.batch_interval
+               + ctx.config.costs.network_delay)
+        if due > ctx.end_time + 1e-9:
+            return
+        ctx.at(max(due, ctx.now), lambda: self.forge(failed, sub, index))
+
+    def forge(self, failed: TaskRuntime, sub: TaskRuntime, index: int) -> None:
+        """Deliver one forged punctuation (unless the task recovered)."""
+        if failed.status is TaskStatus.RUNNING:
+            return  # recovered: downstream waits for real batches again
+        if failed.emitted < index:
+            batch = forged_batch(failed.task, sub.task, index)
+            if sub.alive() and sub.inbox_put(batch):
+                self.ctx.metrics.batches_forged += 1
+                self.ctx.try_process(sub)
+        self.schedule_forge(failed, sub, index + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}({self.name!r})"
+
+
+@RECOVERY_SCHEMES.register("ppa")
+class PartiallyActiveScheme(RecoveryScheme):
+    """The paper's scheme: hot replicas for the plan, passive for the rest."""
+
+    name = "ppa"
+
+
+@RECOVERY_SCHEMES.register("checkpoint-replay")
+class CheckpointReplayScheme(RecoveryScheme):
+    """Pure passive checkpoint/replay recovery; the plan is ignored."""
+
+    name = "checkpoint-replay"
+
+    def replicated_tasks(self, topology: Topology,
+                         planned: AbstractSet[TaskId]) -> frozenset[TaskId]:
+        """No task has a hot replica."""
+        return frozenset()
+
+    def passive_mode(self) -> RecoveryMode:
+        """Always restore from the latest checkpoint."""
+        return RecoveryMode.CHECKPOINT
+
+
+@RECOVERY_SCHEMES.register("source-replay")
+class SourceReplayScheme(RecoveryScheme):
+    """The vanilla Storm baseline: rebuild state by replaying source data."""
+
+    name = "source-replay"
+
+    def replicated_tasks(self, topology: Topology,
+                         planned: AbstractSet[TaskId]) -> frozenset[TaskId]:
+        """No task has a hot replica."""
+        return frozenset()
+
+    def passive_mode(self) -> RecoveryMode:
+        """Never restore checkpoints; replay sources through the topology."""
+        return RecoveryMode.SOURCE_REPLAY
+
+
+@RECOVERY_SCHEMES.register("active-standby")
+class ActiveStandbyScheme(RecoveryScheme):
+    """Fully-active replication: every task keeps a hot replica.
+
+    The upper bound the paper compares PPA against — recovery is always a
+    replica takeover, whatever the replication plan says.  Impossible under
+    the monolithic engine, where only planned tasks could fail over.
+    """
+
+    name = "active-standby"
+
+    def replicated_tasks(self, topology: Topology,
+                         planned: AbstractSet[TaskId]) -> frozenset[TaskId]:
+        """Every task, sources included."""
+        return frozenset(topology.tasks())

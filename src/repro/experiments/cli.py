@@ -3,10 +3,14 @@
 Usage::
 
     python -m repro.experiments fig7 fig9 --fast
+    python -m repro.experiments schemes --fast
     python -m repro.experiments all
-    python -m repro.experiments scenario my_scenario.json
+    python -m repro.experiments scenario my_scenario.json --recovery active-standby
     python -m repro.experiments grid my_grid.json --backend processes \
+        --recovery ppa checkpoint-replay \
         --output results.jsonl --cache-dir ~/.cache/repro-grid --resume
+    python -m repro.experiments cache stats ~/.cache/repro-grid
+    python -m repro.experiments cache prune ~/.cache/repro-grid --max-entries 5000
 
 (Installed as the ``repro-experiments`` console script as well.)
 
@@ -22,6 +26,9 @@ execution strategy (serial / threads / processes), ``--output`` streams
 outcomes into a JSONL or SQLite sink, ``--cache-dir`` enables the
 content-addressed scenario cache and ``--resume`` skips cells the output
 file already holds, so interrupted sweeps pick up where they stopped.
+``--recovery`` selects the fault-tolerance scheme (several names turn it
+into a grid axis), and ``cache stats|prune`` inspects or LRU-trims a cache
+directory.
 """
 
 from __future__ import annotations
@@ -44,10 +51,12 @@ from repro.experiments.recovery import (
     fig7,
     fig8,
     fig10,
+    scheme_sweep,
 )
 from repro.experiments.tables import format_table
 from repro.scenarios import (
     EXECUTION_BACKENDS,
+    RECOVERY_SCHEMES,
     GridSession,
     Scenario,
     ScenarioCache,
@@ -118,6 +127,13 @@ def _run_claims(fast: bool) -> list[FigureResult]:
     return [claims(n_topologies=10 if fast else 30)]
 
 
+def _run_schemes(fast: bool) -> list[FigureResult]:
+    if fast:
+        return [scheme_sweep(windows=(10.0,), rates=(1000.0,),
+                             failure_models=("correlated",), tuple_scale=16.0)]
+    return [scheme_sweep()]
+
+
 RUNNERS: dict[str, Callable[[bool], list[FigureResult]]] = {
     "fig7": _run_fig7,
     "fig8": _run_fig8,
@@ -127,7 +143,19 @@ RUNNERS: dict[str, Callable[[bool], list[FigureResult]]] = {
     "fig13": _run_fig13,
     "fig14": _run_fig14,
     "claims": _run_claims,
+    "schemes": _run_schemes,
 }
+
+
+def _force_recovery(scenario: Scenario, scheme: str) -> Scenario:
+    """``scenario`` with its fault-tolerance scheme overridden to ``scheme``.
+
+    Drops any ``engine.recovery_scheme`` spelling so the CLI flag really is
+    an override rather than a conflict with what the file selected.
+    """
+    engine = {k: v for k, v in scenario.engine.items()
+              if k != "recovery_scheme"}
+    return scenario.with_overrides(recovery=scheme, engine=engine)
 
 
 def _load_json(path: str) -> Any:
@@ -145,6 +173,9 @@ def _scenario_main(argv: Sequence[str]) -> int:
         description="Run one declarative scenario from a JSON file.",
     )
     parser.add_argument("file", help="path to a Scenario JSON document")
+    parser.add_argument("--recovery", default=None, metavar="SCHEME",
+                        help="override the scenario's fault-tolerance scheme "
+                             f"(registered: {', '.join(RECOVERY_SCHEMES.names())})")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="print the full ScenarioResult as JSON")
     args = parser.parse_args(argv)
@@ -156,6 +187,8 @@ def _scenario_main(argv: Sequence[str]) -> int:
             f"{type(data).__name__}"
         )
     scenario = Scenario.from_dict(data)
+    if args.recovery:
+        scenario = _force_recovery(scenario, args.recovery)
     result = run_scenario(scenario)
     if args.as_json:
         print(json.dumps(result.to_dict(), indent=2))
@@ -195,6 +228,10 @@ def _grid_main(argv: Sequence[str]) -> int:
     parser.add_argument("--backend", default="serial",
                         choices=sorted(EXECUTION_BACKENDS.names()),
                         help="execution strategy (default: serial)")
+    parser.add_argument("--recovery", nargs="+", default=None, metavar="SCHEME",
+                        help="fault-tolerance scheme override; several names "
+                             "add a scheme axis to the grid (registered: "
+                             f"{', '.join(RECOVERY_SCHEMES.names())})")
     parser.add_argument("--max-workers", type=int, default=None,
                         help="pool width for the threads/processes backends")
     parser.add_argument("--workers", type=int, default=None,
@@ -233,6 +270,18 @@ def _grid_main(argv: Sequence[str]) -> int:
         raise ScenarioError(
             "a grid JSON document needs either 'scenarios' or 'base' (+ 'axes')"
         )
+
+    if args.recovery:
+        schemes = list(dict.fromkeys(args.recovery))
+        if len(schemes) == 1:
+            scenarios = [_force_recovery(s, schemes[0]) for s in scenarios]
+        else:
+            # Several schemes: a cross-product axis over the expanded grid.
+            scenarios = [
+                _force_recovery(s, scheme).with_overrides(
+                    name=f"{s.name or s.workload}/recovery={scheme}")
+                for s in scenarios for scheme in schemes
+            ]
 
     backend_name, max_workers = args.backend, args.max_workers
     if args.workers is not None:
@@ -290,6 +339,35 @@ def _grid_main(argv: Sequence[str]) -> int:
     return 1 if errors else 0
 
 
+def _cache_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments cache",
+        description="Inspect or prune a content-addressed scenario cache "
+                    "directory (the --cache-dir of grid runs).",
+    )
+    parser.add_argument("action", choices=["stats", "prune"],
+                        help="stats: entry count/disk usage; prune: evict "
+                             "least-recently-used entries beyond --max-entries")
+    parser.add_argument("dir", help="cache directory")
+    parser.add_argument("--max-entries", type=int, default=None, metavar="N",
+                        help="entries to keep when pruning (required for "
+                             "'prune')")
+    args = parser.parse_args(argv)
+
+    if not Path(args.dir).is_dir():
+        raise ScenarioError(f"{args.dir!r} is not a directory")
+    cache = ScenarioCache(args.dir)
+    if args.action == "stats":
+        print(cache.stats().render())
+        return 0
+    if args.max_entries is None:
+        raise ScenarioError("'cache prune' needs --max-entries N")
+    removed = cache.prune(args.max_entries)
+    print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'}; "
+          f"{len(cache)} remain in {args.dir}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     try:
@@ -297,6 +375,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _scenario_main(argv[1:])
         if argv and argv[0] == "grid":
             return _grid_main(argv[1:])
+        if argv and argv[0] == "cache":
+            return _cache_main(argv[1:])
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -304,14 +384,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the figures of the PPA paper (ICDE 2016), "
-                    "or run declarative scenarios ('scenario'/'grid' "
+                    "or run declarative scenarios ('scenario'/'grid'/'cache' "
                     "subcommands).",
     )
     parser.add_argument("figures", nargs="+",
                         choices=sorted(RUNNERS) + ["all"],
                         metavar="figure",
                         help="figures to regenerate (%(choices)s), or the "
-                             "'scenario'/'grid' subcommands",
+                             "'scenario'/'grid'/'cache' subcommands",
     )
     parser.add_argument("--fast", action="store_true",
                         help="reduced grids/durations for a quick pass")

@@ -66,6 +66,10 @@ class Technique:
     label: str
     kind: TechniqueKind
     interval: float = 0.0  # sync interval (active) or checkpoint interval
+    #: Optional recovery-scheme override (a :data:`RECOVERY_SCHEMES` name).
+    #: Empty keeps the engine default, which reproduces the historical
+    #: figures exactly; setting it adds a scheme axis to any figure grid.
+    recovery: str = ""
 
     def planner_name(self) -> str:
         """The scenario planner implementing this technique's replication."""
@@ -106,6 +110,7 @@ class Technique:
             planner=planner if planner is not None else self.planner_name(),
             planner_params=planner_params or {},
             engine=engine,
+            recovery=self.recovery,
             failures=(failure,),
             duration=duration,
         )
@@ -374,4 +379,89 @@ def fig10(rates: Sequence[float] = (1000.0, 2000.0),
         f"Fig. 10: PPA recovery latency, correlated failure (window {window:g}s)",
         headers, rows,
         notes="PPA-0.5-active = recovery completion of the replicated subtree",
+    )
+
+
+def scheme_sweep(schemes: Sequence[str] | None = None,
+                 windows: Sequence[float] = (10.0, 30.0),
+                 rates: Sequence[float] = (1000.0, 2000.0),
+                 failure_models: Sequence[str] = ("correlated",
+                                                  "rolling-restart"),
+                 budget_fraction: float = 0.5, tuple_scale: float = 8.0,
+                 duration: float = DEFAULT_DURATION,
+                 backend: "str | ExecutionBackend | None" = None,
+                 cache: ScenarioCache | None = None) -> FigureResult:
+    """Recovery-scheme sweep: every registered scheme × failure model.
+
+    The comparison the monolithic engine could not run: each cell executes
+    the Fig. 6 workload under one :data:`RECOVERY_SCHEMES` entry (default:
+    all of them, so schemes registered from outside the library join the
+    sweep automatically) and one failure model, reporting the time until
+    every victim recovered.  The PPA cell keeps its structure-aware
+    half-budget plan; the pure schemes ignore the plan by design.
+    """
+    from repro.engine.recovery import RECOVERY_SCHEMES
+
+    names = tuple(schemes) if schemes is not None else RECOVERY_SCHEMES.names()
+    # Fail times scale with the run so a shortened sweep stays valid: the
+    # correlated failure lands at 3/4 of the run (t=45 at the default 60 s),
+    # and the rolling restart starts at the midpoint with its 7 staggered
+    # kills (O2-O4, 6 stagger steps) bounded to finish within the run.
+    model_failures = {
+        "correlated": FailureSpec("correlated", at=duration * 0.75),
+        "rolling-restart": FailureSpec(
+            "rolling-restart", at=duration / 2,
+            params={"stagger": min(3.0, duration / 12),
+                    "operators": ["O2", "O3", "O4"]}),
+    }
+
+    cells: list[tuple[float, float, str, str]] = []
+    scenarios: list[Scenario] = []
+    for window in windows:
+        for rate in rates:
+            for model in failure_models:
+                failure = model_failures.get(
+                    model, FailureSpec(model, at=duration * 0.75))
+                for scheme in names:
+                    cells.append((window, rate, model, scheme))
+                    scenarios.append(Scenario(
+                        name=f"schemes/{scheme}({model},win={window:g},"
+                             f"rate={rate:g})",
+                        workload="synthetic",
+                        workload_params={"rate_per_source": rate,
+                                         "window_seconds": window,
+                                         "tuple_scale": tuple_scale},
+                        planner="structure-aware",
+                        budget_fraction=budget_fraction,
+                        engine={"checkpoint_interval": 15.0,
+                                "sync_interval": 5.0,
+                                "source_replay_window_batches": round(window)},
+                        recovery=scheme,
+                        failures=(failure,),
+                        duration=duration,
+                    ))
+    results = run_scenarios(scenarios, backend=backend, cache=cache)
+
+    latencies: dict[tuple[float, float, str, str], float] = {}
+    for (window, rate, model, scheme), result in zip(cells, results):
+        value = result.max_recovery_latency
+        if value is None:
+            raise RuntimeError(
+                f"scheme {scheme!r} under {model!r}: recovery incomplete")
+        latencies[(window, rate, model, scheme)] = value
+
+    headers = ["window", "rate", "failure"] + list(names)
+    rows: list[list[object]] = []
+    for window in windows:
+        for rate in rates:
+            for model in failure_models:
+                row: list[object] = [f"{window:g}s", f"{rate:g}t/s", model]
+                row.extend(latencies[(window, rate, model, scheme)]
+                           for scheme in names)
+                rows.append(row)
+    return FigureResult(
+        "Scheme sweep: max recovery latency (s) per fault-tolerance scheme",
+        headers, rows,
+        notes=f"structure-aware plan at budget fraction {budget_fraction:g}; "
+              f"pure schemes ignore the plan",
     )

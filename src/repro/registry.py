@@ -1,0 +1,93 @@
+"""The string-keyed extension registry shared by every pluggable layer.
+
+A :class:`Registry` maps names to factories and is the backbone of the
+library's plug-in architecture: planners, workloads, failure models,
+execution backends, result sinks (:mod:`repro.scenarios`) and the engine's
+recovery schemes (:mod:`repro.engine.recovery`) all resolve string keys
+through one of these.  It lives at the package root so that *every* layer —
+including the engine, which the scenario package builds on — can define a
+registry without import cycles.
+
+>>> from repro.registry import Registry
+>>> DEMO = Registry("demo")
+>>> @DEMO.register("x")
+... def make_x():
+...     return object()
+>>> "x" in DEMO and DEMO.names() == ("x",)
+True
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, Type, TypeVar
+
+from repro.errors import ReproError, ScenarioError
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """A named mapping from string keys to factories, with a register decorator."""
+
+    def __init__(self, kind: str, *, error: Type[ReproError] = ScenarioError):
+        self.kind = kind
+        self.error = error
+        self._entries: dict[str, T] = {}
+
+    def register(self, name: str, *, overwrite: bool = False) -> Callable[[T], T]:
+        """Decorator registering a factory under ``name``.
+
+        >>> REGISTRY = Registry("demo")
+        >>> @REGISTRY.register("x")
+        ... def make_x():
+        ...     return object()
+        """
+        if not name or not isinstance(name, str):
+            raise self.error(f"{self.kind} registry keys must be non-empty strings")
+
+        def decorator(factory: T) -> T:
+            if name in self._entries and not overwrite:
+                raise self.error(
+                    f"{self.kind} {name!r} is already registered; "
+                    f"pass overwrite=True to replace it"
+                )
+            self._entries[name] = factory
+            return factory
+
+        return decorator
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` (raises the registry's error type if absent)."""
+        if name not in self._entries:
+            raise self.error(f"{self.kind} {name!r} is not registered")
+        del self._entries[name]
+
+    def get(self, name: str) -> T:
+        """The factory registered under ``name``.
+
+        Unknown names raise the registry's error type listing every known
+        key, so a typo in a scenario file produces an actionable message.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(repr(k) for k in self.names()) or "(none)"
+            raise self.error(
+                f"unknown {self.kind} {name!r}; registered {self.kind}s: {known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Registry({self.kind}, {list(self.names())})"

@@ -23,6 +23,9 @@ in with a ``register()`` decorator without touching the core:
 
 * :data:`PLANNERS`, :data:`WORKLOADS`, :data:`FAILURE_MODELS` — what to
   plan, run and break;
+* :data:`RECOVERY_SCHEMES` — how the engine tolerates the failures
+  (``"ppa"``, ``"checkpoint-replay"``, ``"source-replay"``,
+  ``"active-standby"``), selected per scenario via the ``recovery`` field;
 * :data:`EXECUTION_BACKENDS` — how grids execute (``"serial"``,
   ``"threads"``, ``"processes"`` with work stealing, per-scenario timeouts
   and retry-on-worker-death);
@@ -45,6 +48,12 @@ content-addressed :class:`ScenarioCache` (keyed on the SHA-256 digest of
 and the cache reload persisted results bit-for-bit.
 """
 
+from repro.engine.recovery import (
+    RECOVERY_SCHEMES,
+    RecoveryContext,
+    RecoveryScheme,
+    create_scheme,
+)
 from repro.scenarios import catalog as _catalog  # populate the registries
 from repro.scenarios.backends import (
     EXECUTION_BACKENDS,
@@ -55,7 +64,7 @@ from repro.scenarios.backends import (
     ThreadBackend,
     resolve_backend,
 )
-from repro.scenarios.cache import ScenarioCache, scenario_digest
+from repro.scenarios.cache import CacheStats, ScenarioCache, scenario_digest
 from repro.scenarios.catalog import (
     FixedPlanner,
     NullPlanner,
@@ -64,7 +73,7 @@ from repro.scenarios.catalog import (
     make_bundle,
     make_planner,
 )
-from repro.scenarios.failures import synthetic_tasks
+from repro.scenarios.failures import FailureWave, as_waves, synthetic_tasks
 from repro.scenarios.grid import expand_grid, run_grid, run_scenarios
 from repro.scenarios.registry import FAILURE_MODELS, PLANNERS, WORKLOADS, Registry
 from repro.scenarios.runner import (
@@ -92,12 +101,14 @@ from repro.scenarios.spec import (
 )
 
 __all__ = [
+    "CacheStats",
     "CellError",
     "EXECUTION_BACKENDS",
     "EdgeDef",
     "ExecutionBackend",
     "FAILURE_MODELS",
     "FailureSpec",
+    "FailureWave",
     "FixedPlanner",
     "GridReport",
     "GridSession",
@@ -108,8 +119,11 @@ __all__ = [
     "PLANNERS",
     "ProcessBackend",
     "ProgressEvent",
+    "RECOVERY_SCHEMES",
     "RESULT_SINKS",
+    "RecoveryContext",
     "RecoveryOutcome",
+    "RecoveryScheme",
     "Registry",
     "ReplicateAllPlanner",
     "ResultSink",
@@ -122,6 +136,8 @@ __all__ = [
     "ThreadBackend",
     "TopologyRecipe",
     "WORKLOADS",
+    "as_waves",
+    "create_scheme",
     "expand_grid",
     "generic_bundle",
     "make_bundle",

@@ -28,11 +28,35 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ScenarioError
 from repro.scenarios.runner import ScenarioResult
 from repro.scenarios.spec import Scenario
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time summary of a cache directory's contents."""
+
+    directory: str
+    entries: int
+    total_bytes: int
+    oldest_used: float | None
+    newest_used: float | None
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (what the CLI prints)."""
+        lines = [f"cache {self.directory}",
+                 f"  entries:     {self.entries}",
+                 f"  disk usage:  {self.total_bytes / 1024:.1f} KiB"]
+        if self.oldest_used is not None and self.newest_used is not None:
+            span = self.newest_used - self.oldest_used
+            lines.append(f"  last-used span: {span:.0f}s "
+                         f"(oldest {time.ctime(self.oldest_used)})")
+        return "\n".join(lines)
 
 
 def scenario_digest(scenario: Scenario) -> str:
@@ -63,15 +87,35 @@ class ScenarioCache:
     budget, engine overrides, failure schedule, seed — changes the digest,
     so stale entries are simply never looked up again.  Delete the directory
     (or call :meth:`clear`) to reclaim disk.
+
+    ``max_entries`` bounds the directory: a :meth:`put` that pushes the
+    entry count over the limit evicts the least-recently-*used* entries
+    down to ~90 % of the limit, so the directory scan amortises over many
+    puts (:meth:`get` touches an entry's mtime on a hit, so hot grid cells
+    stay resident while long-abandoned sweeps age out).  ``None`` (the
+    default) keeps the historical grow-without-bound behaviour;
+    :meth:`prune` applies a limit on demand — the ``repro-experiments
+    cache prune`` subcommand.
     """
 
-    def __init__(self, directory: str | os.PathLike):
+    def __init__(self, directory: str | os.PathLike, *,
+                 max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise ScenarioError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
         #: Number of successful lookups served from disk.
         self.hits = 0
         #: Number of lookups that found no (readable) entry.
         self.misses = 0
+        #: Number of entries evicted by LRU pruning.
+        self.evictions = 0
+        # Approximate entry count so a bounded cache does not re-scan the
+        # whole directory on every put; refreshed by every full scan.
+        self._approx_entries: int | None = None
 
     # ------------------------------------------------------------------
     def path_for(self, digest: str) -> Path:
@@ -96,6 +140,10 @@ class ScenarioCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # LRU touch: a hit keeps the entry young
+        except OSError:  # pragma: no cover - racing pruner
+            pass
         return result
 
     def lookup(self, scenario: Scenario) -> ScenarioResult | None:
@@ -103,19 +151,83 @@ class ScenarioCache:
         return self.get(scenario_digest(scenario))
 
     def put(self, digest: str, result: ScenarioResult) -> None:
-        """Store ``result`` under ``digest`` (atomic replace)."""
+        """Store ``result`` under ``digest`` (atomic replace), then prune."""
         payload = json.dumps(result.to_dict(), sort_keys=True)
+        path = self.path_for(digest)
         fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(payload)
-            os.replace(tmp_name, self.path_for(digest))
+            existed = path.exists()
+            os.replace(tmp_name, path)
         except BaseException:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
             raise
+        if self.max_entries is None:
+            return
+        if self._approx_entries is None:
+            self._approx_entries = len(self)
+        elif not existed:
+            self._approx_entries += 1
+        if self._approx_entries > self.max_entries:
+            # Hysteresis: evict ~10% below the limit so the full directory
+            # scan amortises over many puts instead of firing on every put
+            # once the cache sits at capacity.
+            self.prune(max(1, self.max_entries - self.max_entries // 10))
+
+    def _entries_by_age(self) -> list[tuple[float, Path]]:
+        """(mtime, path) of every entry, least recently used first."""
+        entries: list[tuple[float, Path]] = []
+        for path in self.directory.glob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:  # pragma: no cover - racing deleter
+                pass
+        entries.sort(key=lambda pair: (pair[0], pair[1].name))
+        return entries
+
+    def prune(self, max_entries: int | None = None) -> int:
+        """Evict least-recently-used entries beyond ``max_entries``.
+
+        Defaults to the cache's configured limit; returns how many entries
+        were removed (0 when unlimited or already within bounds).
+        """
+        limit = self.max_entries if max_entries is None else max_entries
+        if limit is None:
+            return 0
+        if limit < 1:
+            raise ScenarioError(f"max_entries must be >= 1, got {limit}")
+        entries = self._entries_by_age()
+        removed = 0
+        for _mtime, path in entries[:max(0, len(entries) - limit)]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing deleter
+                pass
+        self.evictions += removed
+        self._approx_entries = len(entries) - removed
+        return removed
+
+    def stats(self) -> CacheStats:
+        """Entry count, disk usage and last-used range of the directory."""
+        entries = self._entries_by_age()
+        total = 0
+        for _mtime, path in entries:
+            try:
+                total += path.stat().st_size
+            except OSError:  # pragma: no cover - racing deleter
+                pass
+        return CacheStats(
+            directory=str(self.directory),
+            entries=len(entries),
+            total_bytes=total,
+            oldest_used=entries[0][0] if entries else None,
+            newest_used=entries[-1][0] if entries else None,
+        )
 
     def __contains__(self, digest: object) -> bool:
         return isinstance(digest, str) and self.path_for(digest).exists()
@@ -132,6 +244,7 @@ class ScenarioCache:
                 removed += 1
             except OSError:  # pragma: no cover - racing deleter
                 pass
+        self._approx_entries = 0
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

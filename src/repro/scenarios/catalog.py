@@ -16,6 +16,7 @@ logic).
 
 from __future__ import annotations
 
+import dataclasses
 import statistics
 from typing import Iterable, Mapping, Sequence
 
@@ -57,7 +58,8 @@ from repro.workloads.bundles import (
     q1_bundle,
     q2_bundle,
 )
-from repro.workloads.sources import UniformRateSource
+from repro.topology.operators import TaskId
+from repro.workloads.sources import SquareWaveSource, UniformRateSource
 
 # ----------------------------------------------------------------------
 # Planners
@@ -240,6 +242,74 @@ def custom_workload(recipe: TopologyRecipe | Mapping[str, object] | None = None,
         f"custom({len(recipe.operators)} ops)", topology,
         uniform_source_rates(topology, source_rate),
         window_seconds=window_seconds, tuple_scale=tuple_scale,
+    )
+
+
+@WORKLOADS.register("bursty")
+def bursty_workload(base: str = "synthetic", period_seconds: float = 20.0,
+                    duty: float = 0.5, high_factor: float = 1.5,
+                    low_factor: float = 0.5,
+                    **base_params: object) -> QueryBundle:
+    """A square-wave (burst/trough) rate profile over an existing bundle.
+
+    Builds the ``base`` workload (any registry entry whose sources are
+    uniform-rate: ``"synthetic"``, ``"zipf"``, ``"custom"``), then replaces
+    every source with a :class:`~repro.workloads.sources.SquareWaveSource`
+    bursting at ``high_factor ×`` and idling at ``low_factor ×`` the base
+    rate.  ``base_params`` are forwarded to the base workload factory.
+
+    With the default symmetric factors the long-run mean rate equals the
+    base rate, so the planning rate model (and therefore plans and fidelity
+    predictions) stays representative; what changes is *when* tuples
+    arrive — which is exactly the knob for measuring recovery latency at
+    burst peaks versus troughs (time the ``FailureSpec`` inside or outside
+    a burst phase).
+    """
+    if base == "bursty":
+        raise ScenarioError("workload 'bursty' cannot wrap itself")
+    if period_seconds <= 0:
+        raise ScenarioError(
+            f"workload 'bursty': period_seconds must be positive, got "
+            f"{period_seconds}"
+        )
+    if not 0.0 < duty < 1.0:
+        raise ScenarioError(
+            f"workload 'bursty': duty must be in (0, 1), got {duty}"
+        )
+    if high_factor < 0 or low_factor < 0:
+        raise ScenarioError(
+            f"workload 'bursty': rate factors must be >= 0, got "
+            f"high={high_factor}, low={low_factor}"
+        )
+    bundle = make_bundle(base, **base_params)
+    base_make_logic = bundle.make_logic
+    topology = bundle.topology
+
+    def make_logic() -> LogicFactory:
+        factory = base_make_logic()
+        for spec in topology.operators():
+            if not spec.is_source:
+                continue
+            source = factory.source_for(TaskId(spec.name, 0))
+            if not isinstance(source, UniformRateSource):
+                raise ScenarioError(
+                    f"workload 'bursty' needs uniform-rate sources to "
+                    f"modulate; base {base!r} source {spec.name!r} is a "
+                    f"{type(source).__name__}"
+                )
+            factory.register_source(spec.name, SquareWaveSource(
+                high_rate=source.rate_per_task * high_factor,
+                low_rate=source.rate_per_task * low_factor,
+                period_batches=max(
+                    2, round(period_seconds / source.batch_interval)),
+                duty=duty,
+                batch_interval=source.batch_interval,
+                key_space=source.key_space,
+            ))
+        return factory
+
+    return dataclasses.replace(
+        bundle, name=f"bursty({bundle.name})", make_logic=make_logic,
     )
 
 

@@ -18,22 +18,66 @@ Models registered here:
 * ``"rack-correlated"`` (alias ``"rack_correlated"``) — every task placed
   on a node of the failing rack(s), derived from a node→rack placement map
   in ``failure.params`` (the paper's motivating correlated-failure domain:
-  a shared switch or PDU takes out a whole rack of workers).
+  a shared switch or PDU takes out a whole rack of workers);
+* ``"rolling-restart"`` — kills the victims one at a time on a stagger
+  interval (scheduled maintenance: each node goes down, recovers, then the
+  next one is taken down).
 
 New models plug in with ``@FAILURE_MODELS.register("name")``; the callable
 receives ``(topology, plan, *, seed, **params)`` and returns the victim
-tasks.
+tasks — either a flat sequence (every victim dies at ``FailureSpec.at``) or
+a sequence of :class:`FailureWave` entries whose offsets stagger the kills
+relative to ``FailureSpec.at``.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import AbstractSet, Iterable, Mapping, Sequence
 
 from repro.errors import ScenarioError
 from repro.scenarios.registry import FAILURE_MODELS
 from repro.topology.graph import Topology
 from repro.topology.operators import TaskId
+
+
+@dataclass(frozen=True)
+class FailureWave:
+    """One batch of simultaneous kills within a failure model's schedule.
+
+    ``offset`` is in seconds relative to the owning
+    :class:`~repro.scenarios.spec.FailureSpec`'s ``at`` time.
+    """
+
+    offset: float
+    tasks: tuple[TaskId, ...]
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ScenarioError(
+                f"failure wave offset must be >= 0, got {self.offset}"
+            )
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+
+
+def as_waves(victims: object) -> tuple[FailureWave, ...]:
+    """Normalise a failure model's return value to a wave schedule.
+
+    A flat task sequence becomes a single wave at offset 0; a sequence of
+    :class:`FailureWave` entries is ordered by offset (stable for ties).
+    """
+    if isinstance(victims, FailureWave):
+        return (victims,)
+    items = list(victims)  # type: ignore[arg-type]
+    if items and all(isinstance(v, FailureWave) for v in items):
+        return tuple(sorted(items, key=lambda w: w.offset))
+    if any(isinstance(v, FailureWave) for v in items):
+        raise ScenarioError(
+            "a failure model must return either tasks or FailureWaves, "
+            "not a mixture"
+        )
+    return (FailureWave(0.0, tuple(items)),) if items else ()
 
 
 def parse_task_string(value: str) -> TaskId | None:
@@ -215,6 +259,51 @@ def rack_correlated(topology: Topology, plan: AbstractSet[TaskId], *, seed: int,
 
 # Underscore alias so the model is reachable under both spellings.
 FAILURE_MODELS.register("rack_correlated")(rack_correlated)
+
+
+@FAILURE_MODELS.register("rolling-restart")
+def rolling_restart(topology: Topology, plan: AbstractSet[TaskId], *, seed: int,
+                    stagger: float = 10.0,
+                    operators: Sequence[str] | None = None,
+                    tasks: Iterable[object] | None = None,
+                    include_sources: bool = False) -> tuple[FailureWave, ...]:
+    """Kill the victims one at a time, ``stagger`` seconds apart.
+
+    The scheduled-maintenance scenario the one-shot correlated models cannot
+    express: each node is taken down, given time to recover, and only then
+    is the next one killed.  Victims default to every non-source task
+    (``include_sources=True`` adds sources); ``operators`` restricts to the
+    named operators and ``tasks`` pins an explicit list (mutually
+    exclusive).  Order is deterministic: topology order, or the given order
+    for an explicit ``tasks`` list.
+
+    Example ``failure.params``::
+
+        {"stagger": 8.0, "operators": ["O2", "O3"]}
+    """
+    if stagger < 0:
+        raise ScenarioError(
+            f"'rolling-restart' stagger must be >= 0, got {stagger}"
+        )
+    if operators is not None and tasks is not None:
+        raise ScenarioError("'rolling-restart': pass operators or tasks, not both")
+    victims: list[TaskId]
+    if tasks is not None:
+        victims = [_task_from_param(topology, t) for t in tasks]
+    elif operators is not None:
+        victims = []
+        for name in operators:
+            victims.extend(topology.tasks_of(name))
+    else:
+        victims = list(
+            topology.tasks() if include_sources else synthetic_tasks(topology)
+        )
+    if not victims:
+        raise ScenarioError("'rolling-restart' selected no tasks")
+    return tuple(
+        FailureWave(position * stagger, (task,))
+        for position, task in enumerate(victims)
+    )
 
 
 @FAILURE_MODELS.register("unreplicated")

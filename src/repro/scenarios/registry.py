@@ -1,7 +1,7 @@
 """String-keyed extension registries behind the declarative scenario API.
 
 A :class:`Scenario <repro.scenarios.spec.Scenario>` names its planner,
-workload and failure models by string; the three registries below resolve
+workload, failure models and recovery scheme by string; registries resolve
 those names to factories.  New entries plug in from *outside* the library
 without touching core code:
 
@@ -14,82 +14,19 @@ without touching core code:
 >>> "tiny" in WORKLOADS
 True
 >>> WORKLOADS.unregister("tiny")
+
+The generic :class:`~repro.registry.Registry` class lives at the package
+root (:mod:`repro.registry`) so lower layers — notably the engine's
+:data:`~repro.engine.recovery.RECOVERY_SCHEMES` — can define registries
+without importing the scenario package; it is re-exported here for
+backwards compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generic, Iterator, TypeVar
+from repro.registry import Registry
 
-from repro.errors import ScenarioError
-
-T = TypeVar("T")
-
-
-class Registry(Generic[T]):
-    """A named mapping from string keys to factories, with a register decorator."""
-
-    def __init__(self, kind: str):
-        self.kind = kind
-        self._entries: dict[str, T] = {}
-
-    def register(self, name: str, *, overwrite: bool = False) -> Callable[[T], T]:
-        """Decorator registering a factory under ``name``.
-
-        >>> REGISTRY = Registry("demo")
-        >>> @REGISTRY.register("x")
-        ... def make_x():
-        ...     return object()
-        """
-        if not name or not isinstance(name, str):
-            raise ScenarioError(f"{self.kind} registry keys must be non-empty strings")
-
-        def decorator(factory: T) -> T:
-            if name in self._entries and not overwrite:
-                raise ScenarioError(
-                    f"{self.kind} {name!r} is already registered; "
-                    f"pass overwrite=True to replace it"
-                )
-            self._entries[name] = factory
-            return factory
-
-        return decorator
-
-    def unregister(self, name: str) -> None:
-        """Remove ``name`` (raises :class:`ScenarioError` if absent)."""
-        if name not in self._entries:
-            raise ScenarioError(f"{self.kind} {name!r} is not registered")
-        del self._entries[name]
-
-    def get(self, name: str) -> T:
-        """The factory registered under ``name``.
-
-        Unknown names raise :class:`ScenarioError` listing every known key,
-        so a typo in a scenario file produces an actionable message.
-        """
-        try:
-            return self._entries[name]
-        except KeyError:
-            known = ", ".join(repr(k) for k in self.names()) or "(none)"
-            raise ScenarioError(
-                f"unknown {self.kind} {name!r}; registered {self.kind}s: {known}"
-            ) from None
-
-    def names(self) -> tuple[str, ...]:
-        """All registered names, sorted."""
-        return tuple(sorted(self._entries))
-
-    def __contains__(self, name: object) -> bool:
-        return name in self._entries
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(self.names())
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __repr__(self) -> str:  # pragma: no cover - trivial
-        return f"Registry({self.kind}, {list(self.names())})"
-
+__all__ = ["FAILURE_MODELS", "PLANNERS", "Registry", "WORKLOADS"]
 
 #: Planner factories: ``fn(objective, **planner_params) -> Planner``.
 PLANNERS: Registry = Registry("planner")
@@ -97,5 +34,7 @@ PLANNERS: Registry = Registry("planner")
 #: Workload factories: ``fn(**workload_params) -> QueryBundle``.
 WORKLOADS: Registry = Registry("workload")
 
-#: Failure models: ``fn(topology, plan, *, seed, **params) -> tuple[TaskId, ...]``.
+#: Failure models: ``fn(topology, plan, *, seed, **params) -> tuple[TaskId, ...]``
+#: (or a sequence of :class:`~repro.scenarios.failures.FailureWave` for
+#: models that stagger their kills over time).
 FAILURE_MODELS: Registry = Registry("failure model")

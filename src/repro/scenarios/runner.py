@@ -23,9 +23,10 @@ from repro.core.plans import (
 )
 from repro.engine.config import CostModel, EngineConfig, PassiveStrategy
 from repro.engine.engine import StreamEngine
+from repro.engine.recovery import RECOVERY_SCHEMES
 from repro.errors import ScenarioError
 from repro.scenarios import catalog
-from repro.scenarios.failures import parse_task_string
+from repro.scenarios.failures import FailureWave, as_waves, parse_task_string
 from repro.scenarios.registry import FAILURE_MODELS
 from repro.scenarios.spec import FailureSpec, Scenario, _check_keys
 from repro.topology.operators import TaskId
@@ -272,6 +273,7 @@ class ScenarioResult:
         lines.append(
             f"workload={s.workload}  planner={self.plan.planner or s.planner}"
             f"  budget={self.plan.budget}  |plan|={self.plan.usage}"
+            + (f"  recovery={s.recovery}" if s.recovery else "")
         )
         lines.append(
             f"worst-case {metric}={self.worst_case_fidelity:.3f}  "
@@ -360,22 +362,48 @@ class ScenarioRunner:
                 raise ScenarioError(
                     f"unknown passive_strategy {strategy!r}; one of {choices}"
                 ) from None
+        scheme = overrides.get("recovery_scheme")
+        if self.scenario.recovery:
+            if scheme is not None and scheme != self.scenario.recovery:
+                raise ScenarioError(
+                    f"scenario sets recovery={self.scenario.recovery!r} but "
+                    f"engine overrides say recovery_scheme={scheme!r}; "
+                    f"pick one spelling"
+                )
+            scheme = self.scenario.recovery
+            overrides["recovery_scheme"] = scheme
+        if scheme is not None and scheme not in RECOVERY_SCHEMES:
+            known = ", ".join(repr(n) for n in RECOVERY_SCHEMES.names())
+            raise ScenarioError(
+                f"unknown recovery scheme {scheme!r}; registered schemes: "
+                f"{known}"
+            )
         try:
             return EngineConfig(costs=costs, **overrides)
         except TypeError as exc:
             raise ScenarioError(f"engine config: {exc}") from None
 
-    def victims_of(self, spec: FailureSpec, bundle: QueryBundle,
-                   plan: ReplicationPlan) -> tuple[TaskId, ...]:
-        """Resolve one failure spec into its victim task set."""
+    def failure_waves(self, spec: FailureSpec, bundle: QueryBundle,
+                      plan: ReplicationPlan) -> "tuple[FailureWave, ...]":
+        """Resolve one failure spec into its (possibly staggered) schedule."""
         model = FAILURE_MODELS.get(spec.model)
         params = dict(spec.params)
         seed = params.pop("seed", self.scenario.seed)
         try:
-            return tuple(model(bundle.topology, plan.replicated,
-                               seed=int(seed), **params))
+            victims = model(bundle.topology, plan.replicated,
+                            seed=int(seed), **params)
         except TypeError as exc:
             raise ScenarioError(f"failure model {spec.model!r}: {exc}") from None
+        return as_waves(victims)
+
+    def victims_of(self, spec: FailureSpec, bundle: QueryBundle,
+                   plan: ReplicationPlan) -> tuple[TaskId, ...]:
+        """Resolve one failure spec into its flat victim task set."""
+        return tuple(
+            task
+            for wave in self.failure_waves(spec, bundle, plan)
+            for task in wave.tasks
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> ScenarioResult:
@@ -400,12 +428,19 @@ class ScenarioRunner:
                     f"failure at t={spec.at:g}s is after the run ends "
                     f"(duration {scenario.duration:g}s)"
                 )
-            victims = self.victims_of(spec, bundle, plan)
-            engine.schedule_task_failure(spec.at, victims)
-            for task in victims:
-                if task not in seen:
-                    seen.add(task)
-                    all_victims.append(task)
+            for wave in self.failure_waves(spec, bundle, plan):
+                at = spec.at + wave.offset
+                if at > scenario.duration:
+                    raise ScenarioError(
+                        f"failure model {spec.model!r} schedules a kill at "
+                        f"t={at:g}s, after the run ends "
+                        f"(duration {scenario.duration:g}s)"
+                    )
+                engine.schedule_task_failure(at, wave.tasks)
+                for task in wave.tasks:
+                    if task not in seen:
+                        seen.add(task)
+                        all_victims.append(task)
 
         engine.run(scenario.duration)
 

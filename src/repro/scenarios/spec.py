@@ -234,6 +234,14 @@ class Scenario:
         :class:`~repro.engine.config.EngineConfig` overrides, plus the
         special keys ``"costs"`` (cost-model overrides) and
         ``"source_replay_window_batches"``.
+    recovery:
+        Fault-tolerance scheme, by
+        :data:`~repro.engine.recovery.RECOVERY_SCHEMES` registry name
+        (``"ppa"``, ``"checkpoint-replay"``, ``"source-replay"``,
+        ``"active-standby"``, ...).  Empty (the default) keeps the engine's
+        default scheme (``"ppa"``) *and* is omitted from ``to_dict()``, so
+        the scenario digest — and therefore every existing cache entry —
+        is unchanged for scenarios that never select a scheme.
     failures:
         The failure schedule, earliest first.
     duration:
@@ -252,6 +260,7 @@ class Scenario:
     budget: int | None = None
     budget_fraction: float | None = None
     engine: dict[str, Any] = field(default_factory=dict)
+    recovery: str = ""
     failures: tuple[FailureSpec, ...] = ()
     duration: float = 60.0
     seed: int = 0
@@ -284,6 +293,11 @@ class Scenario:
             raise ScenarioError(
                 f"objective must be 'OF' or 'IC', got {self.objective!r}"
             )
+        if not isinstance(self.recovery, str):
+            raise ScenarioError(
+                f"recovery must be a scheme name string, got "
+                f"{type(self.recovery).__name__}"
+            )
 
     # ------------------------------------------------------------------
     # Serialization
@@ -306,6 +320,10 @@ class Scenario:
         }
         if self.topology is not None:
             out["topology"] = self.topology.to_dict()
+        if self.recovery:
+            # Omitted when default so the scenario digest (and every cache
+            # entry keyed on it) is unchanged for scheme-less scenarios.
+            out["recovery"] = self.recovery
         return out
 
     @classmethod
@@ -314,7 +332,7 @@ class Scenario:
         _check_keys("scenario", data, (
             "name", "workload", "workload_params", "topology", "planner",
             "planner_params", "objective", "budget", "budget_fraction",
-            "engine", "failures", "duration", "seed",
+            "engine", "recovery", "failures", "duration", "seed",
         ))
         topology = data.get("topology")
         budget = data.get("budget")
@@ -330,6 +348,7 @@ class Scenario:
             budget=int(budget) if budget is not None else None,
             budget_fraction=float(fraction) if fraction is not None else None,
             engine=dict(data.get("engine", {})),
+            recovery=str(data.get("recovery", "")),
             failures=tuple(FailureSpec.from_dict(f) for f in data.get("failures", ())),
             duration=float(data.get("duration", 60.0)),
             seed=int(data.get("seed", 0)),

@@ -12,7 +12,7 @@ from repro.workloads.bundles import (
     q1_bundle,
     q2_bundle,
 )
-from repro.workloads.sources import UniformRateSource
+from repro.workloads.sources import SquareWaveSource, UniformRateSource
 from repro.workloads.traffic import (
     Incident,
     IncidentReportSource,
@@ -27,6 +27,7 @@ __all__ = [
     "IncidentReportSource",
     "IncidentSchedule",
     "QueryBundle",
+    "SquareWaveSource",
     "UniformRateSource",
     "UserLocationSource",
     "WorldCupAccessLog",

@@ -37,3 +37,66 @@ class UniformRateSource(SourceFunction):
             (f"k{(base + i) % self.key_space}", (task.index, base + i))
             for i in range(count)
         ]
+
+
+class SquareWaveSource(SourceFunction):
+    """A square-wave rate profile: bursts at ``high_rate``, troughs at ``low_rate``.
+
+    Each period of ``period_batches`` batches spends the first
+    ``round(duty × period)`` batches (at least one, at most ``period - 1``)
+    at the high rate and the rest at the low rate.  Tuple identities are a
+    deterministic function of the batch index alone, so replays and
+    recovered incarnations regenerate identical batches — the engine's
+    source-determinism contract.
+    """
+
+    def __init__(self, high_rate: float, low_rate: float,
+                 period_batches: int = 20, duty: float = 0.5,
+                 batch_interval: float = 1.0, key_space: int = 64):
+        if high_rate < 0 or low_rate < 0:
+            raise WorkloadError(
+                f"rates must be >= 0, got high={high_rate}, low={low_rate}"
+            )
+        if period_batches < 2:
+            raise WorkloadError(
+                f"period_batches must be >= 2, got {period_batches}"
+            )
+        if not 0.0 < duty < 1.0:
+            raise WorkloadError(f"duty must be in (0, 1), got {duty}")
+        if key_space < 1:
+            raise WorkloadError(f"key_space must be >= 1, got {key_space}")
+        self.high_rate = high_rate
+        self.low_rate = low_rate
+        self.period_batches = period_batches
+        self.duty = duty
+        self.batch_interval = batch_interval
+        self.key_space = key_space
+        self.high_batches = min(period_batches - 1,
+                                max(1, round(duty * period_batches)))
+        high_count = round(high_rate * batch_interval)
+        low_count = round(low_rate * batch_interval)
+        self._counts = tuple(
+            high_count if phase < self.high_batches else low_count
+            for phase in range(period_batches)
+        )
+        # Prefix sums over one period give each batch a stable tuple-id base.
+        self._offsets = [0]
+        for count in self._counts:
+            self._offsets.append(self._offsets[-1] + count)
+
+    def is_burst(self, batch_index: int) -> bool:
+        """Whether ``batch_index`` falls in the high (burst) phase."""
+        return batch_index % self.period_batches < self.high_batches
+
+    def mean_rate(self) -> float:
+        """The long-run average tuple rate of the profile."""
+        return self._offsets[-1] / (self.period_batches * self.batch_interval)
+
+    def tuples_for_batch(self, task: TaskId, batch_index: int) -> list[KeyedTuple]:
+        periods, phase = divmod(batch_index, self.period_batches)
+        count = self._counts[phase]
+        base = periods * self._offsets[-1] + self._offsets[phase]
+        return [
+            (f"k{(base + i) % self.key_space}", (task.index, base + i))
+            for i in range(count)
+        ]

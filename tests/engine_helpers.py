@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from repro.engine import EngineConfig, LogicFactory, StreamEngine
+import hashlib
+
+from repro.engine import EngineConfig, LogicFactory, MetricsCollector, StreamEngine
 from repro.queries import WindowedSelectivityOperator
 from repro.topology import Partitioning, TopologyBuilder
 from repro.workloads import UniformRateSource
@@ -47,3 +49,63 @@ def build_engine(config: EngineConfig | None = None, *, plan=(),
 def sink_outputs(engine: StreamEngine) -> dict[int, tuple]:
     """Sink tuples by batch index (single-sink topologies)."""
     return {r.index: r.tuples for r in engine.metrics.sink_records}
+
+
+def run_scenario_engine(scenario) -> StreamEngine:
+    """Run ``scenario`` through a directly constructed engine.
+
+    Mirrors :class:`repro.scenarios.runner.ScenarioRunner` but returns the
+    engine itself, so parity tests can fingerprint the raw
+    :class:`MetricsCollector` (per-task CPU, recovery records, sink log)
+    rather than the distilled :class:`ScenarioResult`.
+    """
+    from repro.scenarios.runner import ScenarioRunner
+
+    runner = ScenarioRunner(scenario)
+    bundle = runner.bundle()
+    plan = runner.plan(bundle)
+    config = runner.engine_config(bundle)
+    kwargs = {}
+    replay_window = scenario.engine.get("source_replay_window_batches")
+    if replay_window is not None:
+        kwargs["source_replay_window_batches"] = int(replay_window)
+    engine = StreamEngine(bundle.topology, bundle.make_logic(), config,
+                          plan=plan, **kwargs)
+    for spec in scenario.failures:
+        for wave in runner.failure_waves(spec, bundle, plan):
+            engine.schedule_task_failure(spec.at + wave.offset, wave.tasks)
+    engine.run(scenario.duration)
+    return engine
+
+
+def metrics_fingerprint(metrics: MetricsCollector) -> dict:
+    """A JSON-native, byte-stable digest of everything a run measured.
+
+    Floats survive a JSON round-trip exactly (``json`` serialises via
+    ``repr``), so two fingerprints compare equal iff the runs produced
+    identical metrics: recovery records, per-task CPU split, counters,
+    tentative-output counts, and a hash over the full sink output log.
+    """
+    sink_log = "\n".join(
+        f"{r.task}|{r.index}|{r.complete}|{r.emitted_at!r}|{r.tuples!r}"
+        for r in metrics.sink_records
+    )
+    return {
+        "recoveries": [
+            [str(r.task), r.mode.value, r.fail_time, r.detect_time,
+             r.recovered_time]
+            for r in metrics.recoveries
+        ],
+        "cpu": {
+            str(task): [cpu.process, cpu.checkpoint, cpu.replay]
+            for task, cpu in sorted(metrics.cpu.items())
+        },
+        "checkpoint_cpu_ratio": metrics.checkpoint_cpu_ratio(),
+        "batches_processed": metrics.batches_processed,
+        "tuples_processed": metrics.tuples_processed,
+        "checkpoints_taken": metrics.checkpoints_taken,
+        "batches_forged": metrics.batches_forged,
+        "complete_sink_batches": len(metrics.sink_outputs(tentative=False)),
+        "tentative_sink_batches": len(metrics.sink_outputs(tentative=True)),
+        "sink_sha256": hashlib.sha256(sink_log.encode()).hexdigest(),
+    }

@@ -35,7 +35,7 @@ class TestRunnerRegistry:
     def test_all_figures_registered(self):
         assert set(RUNNERS) == {
             "fig7", "fig8", "fig9", "fig10", "fig12", "fig13", "fig14",
-            "claims",
+            "claims", "schemes",
         }
 
     def test_runners_are_callables(self):
@@ -160,3 +160,87 @@ class TestGridSubcommand:
         path.write_text(json.dumps({"base": tiny_scenario_dict()}))
         assert main(["grid", str(path), "--progress"]) == 0
         assert "[1/1]" in capsys.readouterr().err
+
+
+class TestRecoveryFlag:
+    def test_scenario_recovery_override(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(tiny_scenario_dict()))
+        assert main(["scenario", str(path), "--recovery", "active-standby",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"]["recovery"] == "active-standby"
+        assert all(r["mode"] == "active" for r in data["recoveries"])
+
+    def test_scenario_unknown_recovery_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(tiny_scenario_dict()))
+        assert main(["scenario", str(path), "--recovery", "bogus"]) == 2
+        assert "registered schemes" in capsys.readouterr().err
+
+    def test_recovery_flag_overrides_engine_dict_spelling(self, tmp_path,
+                                                          capsys):
+        spec = tiny_scenario_dict()
+        spec["engine"]["recovery_scheme"] = "ppa"
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(spec))
+        assert main(["scenario", str(path), "--recovery", "source-replay",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"]["recovery"] == "source-replay"
+        assert "recovery_scheme" not in data["scenario"]["engine"]
+
+    def test_grid_single_recovery_overrides_all_cells(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({"base": tiny_scenario_dict(),
+                                    "axes": {"budget": [0, 2]}}))
+        assert main(["grid", str(path), "--recovery", "source-replay",
+                     "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+        assert all(r["scenario"]["recovery"] == "source-replay" for r in rows)
+
+    def test_grid_multiple_recoveries_add_an_axis(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({"base": tiny_scenario_dict()}))
+        assert main(["grid", str(path), "--recovery", "ppa",
+                     "checkpoint-replay", "active-standby"]) == 0
+        out = capsys.readouterr().out
+        assert "grid: 3 scenarios" in out
+        assert "cli-tiny/recovery=active-standby" in out
+
+
+class TestCacheSubcommand:
+    def _populated_cache(self, tmp_path, capsys, n_budgets=3):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "base": tiny_scenario_dict(),
+            "axes": {"budget": list(range(n_budgets))},
+        }))
+        cache_dir = tmp_path / "cache"
+        assert main(["grid", str(grid), "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        return cache_dir
+
+    def test_stats_reports_entries(self, tmp_path, capsys):
+        cache_dir = self._populated_cache(tmp_path, capsys)
+        assert main(["cache", "stats", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:     3" in out
+        assert "disk usage" in out
+
+    def test_prune_evicts_to_limit(self, tmp_path, capsys):
+        cache_dir = self._populated_cache(tmp_path, capsys)
+        assert main(["cache", "prune", str(cache_dir),
+                     "--max-entries", "1"]) == 0
+        assert "pruned 2 entries; 1 remain" in capsys.readouterr().out
+        assert len(list(cache_dir.glob("*.json"))) == 1
+
+    def test_prune_requires_max_entries(self, tmp_path, capsys):
+        cache_dir = self._populated_cache(tmp_path, capsys)
+        assert main(["cache", "prune", str(cache_dir)]) == 2
+        assert "--max-entries" in capsys.readouterr().err
+
+    def test_missing_directory_reports_error(self, tmp_path, capsys):
+        assert main(["cache", "stats", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err

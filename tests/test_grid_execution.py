@@ -568,3 +568,70 @@ class TestWorkersShim:
         with pytest.raises(ScenarioError, match="does not support cache"):
             run_scenarios([tiny_scenario()], workers=2,
                           cache=ScenarioCache(tmp_path))
+
+
+class TestCacheEviction:
+    def _fill(self, cache, n, start=0):
+        digests = []
+        for i in range(start, start + n):
+            result = run_scenario(tiny_scenario(budget=i % 3, seed=i,
+                                                duration=8.0))
+            digest = scenario_digest(result.scenario)
+            cache.put(digest, result)
+            digests.append(digest)
+        return digests
+
+    def test_put_prunes_to_max_entries(self, tmp_path):
+        cache = ScenarioCache(tmp_path, max_entries=3)
+        digests = self._fill(cache, 5)
+        assert len(cache) == 3
+        assert cache.evictions == 2
+        # The survivors are the most recently written entries.
+        for digest in digests[-3:]:
+            assert digest in cache
+
+    def test_get_touches_entry_so_hits_survive_pruning(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        digests = self._fill(cache, 4)
+        # Age the entries explicitly (mtime granularity is too coarse to
+        # rely on write order), oldest first.
+        for age, digest in enumerate(digests):
+            os.utime(cache.path_for(digest), (1_000_000 + age,
+                                              1_000_000 + age))
+        assert cache.get(digests[0]) is not None  # LRU touch: now youngest
+        removed = cache.prune(2)
+        assert removed == 2
+        assert digests[0] in cache and digests[3] in cache
+        assert digests[1] not in cache and digests[2] not in cache
+
+    def test_prune_noop_when_unlimited_or_within_bounds(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        self._fill(cache, 2)
+        assert cache.prune() == 0          # no limit configured
+        assert cache.prune(10) == 0        # within bounds
+        assert len(cache) == 2
+
+    def test_prune_validates_limit(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        with pytest.raises(ScenarioError, match="max_entries"):
+            cache.prune(0)
+        with pytest.raises(ScenarioError, match="max_entries"):
+            ScenarioCache(tmp_path, max_entries=0)
+
+    def test_stats_reports_entries_and_bytes(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        assert cache.stats().entries == 0
+        self._fill(cache, 2)
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert stats.oldest_used is not None
+        assert "entries:     2" in stats.render()
+
+    def test_bounded_cache_still_serves_grid_hits(self, tmp_path):
+        cache = ScenarioCache(tmp_path, max_entries=8)
+        scenarios = [tiny_scenario(budget=b, duration=8.0) for b in (0, 1, 2)]
+        first = run_scenarios(scenarios, cache=cache)
+        again = run_scenarios(scenarios, cache=cache)
+        assert [r.to_dict() for r in again] == [r.to_dict() for r in first]
+        assert cache.hits >= 3

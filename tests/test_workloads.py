@@ -157,3 +157,106 @@ class TestTraffic:
     def test_schedule_rejects_bad_interval(self):
         with pytest.raises(WorkloadError):
             IncidentSchedule(incident_interval=0.0)
+
+
+class TestSquareWaveSource:
+    def _source(self, **kw):
+        from repro.workloads import SquareWaveSource
+
+        defaults = dict(high_rate=30.0, low_rate=10.0, period_batches=10,
+                        duty=0.5)
+        defaults.update(kw)
+        return SquareWaveSource(**defaults)
+
+    def test_burst_and_trough_counts(self):
+        src = self._source()
+        assert len(src.tuples_for_batch(S0, 0)) == 30   # burst phase
+        assert len(src.tuples_for_batch(S0, 5)) == 10   # trough phase
+        assert src.is_burst(0) and not src.is_burst(5)
+        assert src.is_burst(10)  # periodic
+
+    def test_mean_rate_is_duty_weighted(self):
+        assert self._source().mean_rate() == pytest.approx(20.0)
+
+    def test_deterministic_and_replay_safe(self):
+        src = self._source()
+        assert src.tuples_for_batch(S0, 7) == src.tuples_for_batch(S0, 7)
+
+    def test_tuple_ids_are_contiguous_across_phases(self):
+        src = self._source()
+        seen = [t for b in range(12) for _, t in src.tuples_for_batch(S0, b)]
+        assert [i for _, i in seen] == list(range(len(seen)))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            self._source(high_rate=-1.0)
+        with pytest.raises(WorkloadError):
+            self._source(period_batches=1)
+        with pytest.raises(WorkloadError):
+            self._source(duty=1.0)
+        with pytest.raises(WorkloadError):
+            self._source(key_space=0)
+
+
+class TestBurstyWorkload:
+    def test_wraps_synthetic_bundle_with_square_wave_sources(self):
+        from repro.scenarios import make_bundle
+        from repro.workloads import SquareWaveSource
+
+        bundle = make_bundle("bursty", base="synthetic",
+                             rate_per_source=200.0, window_seconds=5.0,
+                             tuple_scale=16.0, period_seconds=10.0)
+        assert bundle.name.startswith("bursty(")
+        factory = bundle.make_logic()
+        source = factory.source_for(TaskId("S", 0))
+        assert isinstance(source, SquareWaveSource)
+        # Symmetric default factors keep the long-run mean at the base rate.
+        assert source.mean_rate() == pytest.approx(200.0 / 16.0)
+        # The planning rate model still carries the base (mean) rates.
+        assert bundle.rates is not None
+
+    def test_recovery_latency_burst_vs_trough(self):
+        from repro.scenarios import FailureSpec, Scenario, run_scenario
+
+        def run(fail_at):
+            return run_scenario(Scenario(
+                workload="bursty",
+                workload_params={"base": "synthetic",
+                                 "rate_per_source": 2000.0,
+                                 "window_seconds": 10.0, "tuple_scale": 8.0,
+                                 "period_seconds": 20.0, "high_factor": 1.9,
+                                 "low_factor": 0.1},
+                planner="none",
+                engine={"checkpoint_interval": 5.0},
+                failures=(FailureSpec("single-task", at=fail_at,
+                                      params={"operator": "O2"}),),
+                duration=60.0,
+            ))
+
+        # Period 20s, duty .5: 40-50s is a burst, 50-60s a trough.  What
+        # drives recovery cost is the backlog the restored task replays, so
+        # fail late in each phase: at t=48 the replayed window is mostly
+        # burst-rate data, at t=58 mostly trough-rate data.
+        burst = run(48.0)
+        trough = run(58.0)
+        assert burst.all_recovered and trough.all_recovered
+        assert burst.max_recovery_latency > trough.max_recovery_latency
+
+    def test_bursty_rejects_bad_parameters(self):
+        from repro.errors import ScenarioError
+        from repro.scenarios import make_bundle
+
+        with pytest.raises(ScenarioError, match="cannot wrap itself"):
+            make_bundle("bursty", base="bursty")
+        with pytest.raises(ScenarioError, match="duty"):
+            make_bundle("bursty", duty=0.0)
+        with pytest.raises(ScenarioError, match="period_seconds"):
+            make_bundle("bursty", period_seconds=0.0)
+
+    def test_bursty_rejects_non_uniform_base(self):
+        from repro.errors import ScenarioError
+        from repro.scenarios import make_bundle
+
+        bundle = make_bundle("bursty", base="worldcup", pages=50)
+        with pytest.raises(ScenarioError, match="uniform-rate"):
+            bundle.make_logic()
