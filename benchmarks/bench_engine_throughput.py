@@ -1,4 +1,9 @@
-"""Engine microbenchmark: simulated-seconds-per-wall-second of the Fig. 6 run."""
+"""Engine microbenchmark: simulated-seconds-per-wall-second of the Fig. 6 run.
+
+The same run is measured (without pytest-benchmark) by
+``benchmarks/baseline.py``, which maintains the committed perf trajectory in
+``BENCH_engine.json`` and gates regressions in CI.
+"""
 
 from repro.engine import EngineConfig, StreamEngine
 from repro.experiments.bundles import fig6_bundle
@@ -15,3 +20,6 @@ def test_bench_engine_run(benchmark):
     engine = benchmark.pedantic(run_once, rounds=2, iterations=1)
     assert engine.metrics.batches_processed > 0
     assert engine.metrics.sink_records
+    # The physically-trimmed output buffer stays O(replay window).
+    assert 0 < engine.metrics.peak_history_batches <= 60
+    assert engine.metrics.processed_events > 0

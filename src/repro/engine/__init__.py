@@ -9,7 +9,12 @@ from repro.engine.cluster import Cluster, Node, NodeKind
 from repro.engine.config import CostModel, EngineConfig, PassiveStrategy
 from repro.engine.engine import StreamEngine
 from repro.engine.events import EventHandle, Simulator
-from repro.engine.logic import LogicFactory, OperatorLogic, SourceFunction
+from repro.engine.logic import (
+    LogicFactory,
+    MemoizedSource,
+    OperatorLogic,
+    SourceFunction,
+)
 from repro.engine.metrics import (
     MetricsCollector,
     RecoveryMode,
@@ -36,6 +41,7 @@ __all__ = [
     "EventHandle",
     "KeyedTuple",
     "LogicFactory",
+    "MemoizedSource",
     "MetricsCollector",
     "Node",
     "NodeKind",

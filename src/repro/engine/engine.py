@@ -27,6 +27,8 @@ required to be deterministic, so two runs with the same inputs are identical.
 
 from __future__ import annotations
 
+import math
+import time
 from typing import Iterable, Mapping, Sequence
 
 from repro.core.plans import ReplicationPlan
@@ -34,7 +36,7 @@ from repro.engine.checkpoint import Checkpoint, CheckpointStore
 from repro.engine.cluster import Cluster
 from repro.engine.config import EngineConfig
 from repro.engine.events import Simulator
-from repro.engine.logic import LogicFactory
+from repro.engine.logic import LogicFactory, MemoizedSource
 from repro.engine.metrics import MetricsCollector
 from repro.engine.recovery import RecoveryContext, create_scheme
 from repro.engine.routing import Router, stable_hash
@@ -66,6 +68,21 @@ class StreamEngine:
         if unknown:
             raise SimulationError(f"plan references unknown tasks: {sorted(unknown)}")
         self.source_replay_window_batches = source_replay_window_batches
+        # Physical output-history retention, in batches: enough for the
+        # deepest replay lookback (a Storm-style restart reprocesses the
+        # source-replay window, reached heartbeat-detection + restart-delay
+        # after the failure), plus slack.  Content older than this AND below
+        # the logical trim point can never be replayed again, so it is
+        # physically deleted — O(replay window) memory instead of
+        # O(duration).
+        cfg = self.config
+        detection_slack = math.ceil(
+            (cfg.heartbeat_interval + cfg.costs.restart_delay)
+            / cfg.batch_interval
+        )
+        self._retention_batches = (
+            source_replay_window_batches + detection_slack + 8
+        )
 
         self.sim = Simulator()
         self.metrics = MetricsCollector(plan=self.plan)
@@ -102,6 +119,15 @@ class StreamEngine:
             spec = self.topology.operator(task.operator)
             upstreams = self.topology.upstream_tasks(task)
             is_sink = not self.topology.downstream_tasks(task)
+            source_fn = None
+            if spec.is_source:
+                # Sources are pure, so their batches are memoized: replays
+                # and trimmed-log regeneration reuse tuples instead of
+                # recomputing them.
+                source_fn = MemoizedSource(
+                    self.logic_factory.source_for(task), task,
+                    capacity=self._retention_batches + 8,
+                )
             runtime = TaskRuntime(
                 task,
                 is_source=spec.is_source,
@@ -109,7 +135,7 @@ class StreamEngine:
                 expected_upstreams=upstreams,
                 replicated=task in self.replicated,
                 logic=None if spec.is_source else self.logic_factory.logic_for(task),
-                source_fn=self.logic_factory.source_for(task) if spec.is_source else None,
+                source_fn=source_fn,
             )
             if ckpt_batches is not None and self.config.stagger_checkpoints:
                 runtime.checkpoint_phase = stable_hash(str(task)) % ckpt_batches
@@ -128,7 +154,7 @@ class StreamEngine:
     def schedule_node_failure(self, time: float, node_names: Sequence[str]) -> None:
         """Kill the given nodes at virtual time ``time``."""
         names = list(node_names)
-        self.sim.at(time, lambda: self._fail_nodes(names), priority=-1)
+        self.sim.at(time, self._fail_nodes, priority=-1, args=(names,))
 
     def schedule_task_failure(self, time: float, tasks: Iterable[TaskId]) -> None:
         """Kill every node hosting one of ``tasks`` at ``time``."""
@@ -146,13 +172,22 @@ class StreamEngine:
             raise SimulationError("an engine instance runs exactly once")
         self._started = True
         self._end_time = duration
+        wall_start = time.perf_counter()
         for task in self.topology.source_tasks():
             self._schedule_source_emission(self.runtimes[task], 0)
         self.sim.at(self.config.heartbeat_interval, self._heartbeat, priority=-2)
         self.sim.run_until(duration)
         if settle:
             self.sim.drain()
-        return self.metrics
+        metrics = self.metrics
+        metrics.wall_seconds = time.perf_counter() - wall_start
+        metrics.simulated_seconds = self.sim.now
+        metrics.processed_events = self.sim.processed_events
+        metrics.peak_history_batches = max(
+            (rt.peak_history_batches for rt in self.runtimes.values()),
+            default=0,
+        )
+        return metrics
 
     # ------------------------------------------------------------------
     # Source emission
@@ -161,7 +196,7 @@ class StreamEngine:
         due = (index + 1) * self.config.batch_interval
         if due > self._end_time + 1e-9:
             return
-        self.sim.at(due, lambda: self._emit_source(rt, index))
+        self.sim.at(due, self._emit_source, args=(rt, index))
 
     def _emit_source(self, rt: TaskRuntime, index: int) -> None:
         if rt.status in (TaskStatus.FAILED, TaskStatus.RECOVERING):
@@ -182,6 +217,9 @@ class StreamEngine:
         self.metrics.tuples_processed += len(tuples)
         rt.next_batch = index + 1
         self._emit_outputs(rt, index, tuples, complete=True)
+        # The source log is regenerable from the (pure) source function, so
+        # its physical buffer only keeps the replay retention window.
+        rt.trim_history(index - self._retention_batches)
         self._maybe_checkpoint(rt, index, state_tuples=0, state=None)
         if rt.status is TaskStatus.RECOVERING:  # pragma: no cover - defensive
             self.scheme.check_recovered(rt)
@@ -199,7 +237,7 @@ class StreamEngine:
                 src=rt.task, dst=dst, index=index,
                 tuples=tuple(dst_tuples), complete=complete,
             )
-        rt.history[index] = per_dst
+        rt.record_output(index, per_dst)
         rt.emitted = max(rt.emitted, index)
         if rt.replicated and (index + 1) % self.config.sync_batches == 0:
             rt.replica_synced = index
@@ -210,9 +248,8 @@ class StreamEngine:
                 self._send(batch)
 
     def _send(self, batch: Batch) -> None:
-        self.sim.after(
-            self.config.costs.network_delay, lambda: self._deliver(batch)
-        )
+        self.sim.after(self.config.costs.network_delay, self._deliver,
+                       args=(batch,))
 
     def _deliver(self, batch: Batch) -> None:
         rt = self.runtimes[batch.dst]
@@ -236,7 +273,8 @@ class StreamEngine:
         rt.busy_until = done
         rt.processing = True
         incarnation = rt.incarnation
-        self.sim.at(done, lambda: self._process_done(rt, index, inputs, cost, incarnation))
+        self.sim.at(done, self._process_done,
+                    args=(rt, index, inputs, cost, incarnation))
 
     def _process_done(self, rt: TaskRuntime, index: int,
                       inputs: dict[TaskId, Batch], cost: float,
@@ -294,7 +332,8 @@ class StreamEngine:
         ))
         rt.last_checkpoint_batch = index
         self.metrics.checkpoints_taken += 1
-        self.sim.after(costs.network_delay, lambda: self._trim_upstreams(rt, index))
+        self.sim.after(costs.network_delay, self._trim_upstreams,
+                       args=(rt, index))
 
     def _trim_upstreams(self, rt: TaskRuntime, index: int) -> None:
         for upstream in rt.expected_upstreams:
@@ -302,6 +341,7 @@ class StreamEngine:
             up.acked[rt.task] = max(up.acked.get(rt.task, -1), index)
             subscribers = self.topology.downstream_tasks(upstream)
             up.trimmed_upto = min(up.acked.get(s, -1) for s in subscribers)
+            self._trim_physical(up)
 
     def _ack_storm_style(self, rt: TaskRuntime, index: int) -> None:
         """Vanilla Storm acks tuples once processed: buffers trim immediately."""
@@ -312,6 +352,43 @@ class StreamEngine:
             up.acked[rt.task] = max(up.acked.get(rt.task, -1), index)
             subscribers = self.topology.downstream_tasks(upstream)
             up.trimmed_upto = min(up.acked.get(s, -1) for s in subscribers)
+            self._trim_physical(up)
+
+    def _trim_physical(self, up: TaskRuntime) -> None:
+        """Delete batch content that no replay can reach any more.
+
+        Non-source content above ``trimmed_upto`` is still replayable and is
+        always kept; below it, only the retention window (the deepest
+        Storm-style recompute lookback) survives.  Cost accounting over the
+        deleted range keeps working off the retained size skeleton.
+        """
+        up.trim_history(min(up.trimmed_upto,
+                            up.emitted - self._retention_batches))
+
+    def _replay_batch(self, up: TaskRuntime, sub: TaskId, index: int) -> Batch:
+        """The batch ``up`` emitted to ``sub`` at ``index``, for replay resend.
+
+        Physically-retained content is returned as stored.  A trimmed
+        *source* batch is regenerated bit-for-bit from the memoized (pure)
+        source function and the deterministic router; a trimmed non-source
+        batch means the retention window was violated, which is an engine
+        bug and raises rather than silently replaying wrong data.
+        """
+        per_dst = up.history.get(index)
+        if per_dst is not None:
+            batch = per_dst.get(sub)
+            if batch is not None:
+                return batch
+        if not up.is_source or up.source_fn is None:
+            raise SimulationError(
+                f"replay of {up.task} batch {index} to {sub} needs physically "
+                f"trimmed content (retention window of "
+                f"{self._retention_batches} batches was violated)"
+            )
+        tuples = up.source_fn.tuples_for_batch(up.task, index)
+        dst_tuples = self.router.distribute(up.task, tuples)[sub]
+        return Batch(src=up.task, dst=sub, index=index,
+                     tuples=tuple(dst_tuples), complete=True)
 
     # ------------------------------------------------------------------
     # Failure injection and detection

@@ -1,30 +1,38 @@
 """Deterministic discrete-event core: virtual clock plus an event queue.
 
-Events are plain callbacks ordered by ``(time, priority, sequence)``; the
+Events are callbacks ordered by ``(time, priority, sequence)``; the
 monotonically increasing sequence number makes simultaneous events execute in
 scheduling order, so a run is fully deterministic.
+
+The queue is built for the engine's hot loop: entries are plain heap tuples
+``(time, priority, sequence, event)`` whose comparison never reaches the
+event cell (sequence numbers are unique), and callbacks carry their
+arguments in the entry instead of closing over loop state, so schedulers can
+pass bound methods directly (``sim.at(t, self._deliver, args=(batch,))``)
+without allocating a closure per event.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.errors import SimulationError
 
-#: An event is just a zero-argument callback executed at its due time.
-EventFn = Callable[[], None]
+#: An event callback; invoked with the ``args`` it was scheduled with.
+EventFn = Callable[..., None]
 
 
-@dataclass(order=True)
-class _QueuedEvent:
-    time: float
-    priority: int
-    sequence: int
-    fn: EventFn = field(compare=False)
-    cancelled: bool = field(compare=False, default=False)
+class _Event:
+    """Mutable cell carried inside a heap tuple (never itself compared)."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: EventFn, args: tuple[Any, ...]):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
 
 
 class EventHandle:
@@ -32,7 +40,7 @@ class EventHandle:
 
     __slots__ = ("_event",)
 
-    def __init__(self, event: _QueuedEvent):
+    def __init__(self, event: _Event):
         self._event = event
 
     def cancel(self) -> None:
@@ -48,9 +56,11 @@ class EventHandle:
 class Simulator:
     """Virtual clock plus event queue; drives one engine run."""
 
+    __slots__ = ("_queue", "_sequence", "_now", "_processed")
+
     def __init__(self) -> None:
-        self._queue: list[_QueuedEvent] = []
-        self._sequence = itertools.count()
+        self._queue: list[tuple[float, int, int, _Event]] = []
+        self._sequence = 0
         self._now = 0.0
         self._processed = 0
 
@@ -64,45 +74,62 @@ class Simulator:
         """Number of events executed so far (diagnostics)."""
         return self._processed
 
-    def at(self, time: float, fn: EventFn, priority: int = 0) -> EventHandle:
-        """Schedule ``fn`` at absolute virtual time ``time``."""
-        if time < self._now - 1e-9:
+    def at(self, time: float, fn: EventFn, priority: int = 0,
+           args: tuple[Any, ...] = ()) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        now = self._now
+        if time < now - 1e-9:
             raise SimulationError(
-                f"cannot schedule event in the past ({time:.6f} < now {self._now:.6f})"
+                f"cannot schedule event in the past ({time:.6f} < now {now:.6f})"
             )
-        event = _QueuedEvent(max(time, self._now), priority, next(self._sequence), fn)
-        heapq.heappush(self._queue, event)
+        event = _Event(time if time > now else now, fn, args)
+        self._sequence += 1
+        heapq.heappush(self._queue, (event.time, priority, self._sequence, event))
         return EventHandle(event)
 
-    def after(self, delay: float, fn: EventFn, priority: int = 0) -> EventHandle:
-        """Schedule ``fn`` ``delay`` seconds from now."""
+    def after(self, delay: float, fn: EventFn, priority: int = 0,
+              args: tuple[Any, ...] = ()) -> EventHandle:
+        """Schedule ``fn(*args)`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"delay must be >= 0, got {delay}")
-        return self.at(self._now + delay, fn, priority)
+        return self.at(self._now + delay, fn, priority, args)
 
     def run_until(self, end_time: float) -> None:
         """Execute all events with due time <= ``end_time``, advancing the clock."""
-        while self._queue and self._queue[0].time <= end_time + 1e-12:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        pop = heapq.heappop
+        bound = end_time + 1e-12
+        while queue and queue[0][0] <= bound:
+            event = pop(queue)[3]
             if event.cancelled:
                 continue
-            self._now = max(self._now, event.time)
+            if event.time > self._now:
+                self._now = event.time
             self._processed += 1
-            event.fn()
-        self._now = max(self._now, end_time)
+            event.fn(*event.args)
+        if end_time > self._now:
+            self._now = end_time
 
     def drain(self, max_events: int = 10_000_000) -> None:
-        """Execute every remaining event (used to let recoveries finish)."""
-        budget = max_events
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        """Execute every remaining event (used to let recoveries finish).
+
+        ``max_events`` bounds the number of events *executed*; the budget is
+        only enforced while live events remain, so draining exactly
+        ``max_events`` events from an emptying queue succeeds.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        executed = 0
+        while queue:
+            event = pop(queue)[3]
             if event.cancelled:
                 continue
-            self._now = max(self._now, event.time)
-            self._processed += 1
-            event.fn()
-            budget -= 1
-            if budget <= 0:
+            if executed >= max_events:
                 raise SimulationError(
                     f"drain() exceeded {max_events} events; likely a scheduling loop"
                 )
+            if event.time > self._now:
+                self._now = event.time
+            self._processed += 1
+            executed += 1
+            event.fn(*event.args)

@@ -60,6 +60,39 @@ class SourceFunction(abc.ABC):
         """
 
 
+class MemoizedSource(SourceFunction):
+    """Bounded per-task memo over a pure :class:`SourceFunction`.
+
+    The engine wraps every source task's function in one of these so replays
+    (recovery backfills, physically-trimmed source-log regeneration) reuse
+    the generated tuples instead of recomputing them.  Purity makes the memo
+    invisible; the bound keeps memory O(window), evicting the oldest batch
+    first (replays walk forward from a recent index).
+    """
+
+    __slots__ = ("_fn", "_task", "_capacity", "_batches")
+
+    def __init__(self, fn: SourceFunction, task: TaskId, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._fn = fn
+        self._task = task
+        self._capacity = capacity
+        self._batches: dict[int, list[KeyedTuple]] = {}
+
+    def tuples_for_batch(self, task: TaskId, batch_index: int) -> list[KeyedTuple]:
+        if task != self._task:  # pragma: no cover - defensive
+            return self._fn.tuples_for_batch(task, batch_index)
+        batches = self._batches
+        cached = batches.get(batch_index)
+        if cached is None:
+            cached = self._fn.tuples_for_batch(task, batch_index)
+            if len(batches) >= self._capacity:
+                del batches[min(batches)]
+            batches[batch_index] = cached
+        return cached
+
+
 class LogicFactory:
     """Maps operators to logic/source constructors for one engine run."""
 

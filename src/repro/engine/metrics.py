@@ -80,6 +80,32 @@ class MetricsCollector:
         self.tuples_processed: int = 0
         self.checkpoints_taken: int = 0
         self.batches_forged: int = 0
+        #: Engine-throughput profile, filled in by the engine when the run
+        #: finishes (diagnostics; not part of the metric fingerprint).
+        self.processed_events: int = 0
+        self.simulated_seconds: float = 0.0
+        self.wall_seconds: float = 0.0
+        self.peak_history_batches: int = 0
+
+    # ------------------------------------------------------------------
+    def profile(self) -> dict[str, float | int]:
+        """Engine-throughput numbers of the finished run.
+
+        ``sim_seconds_per_wall_second`` and ``events_per_second`` are the
+        headline throughput ratios; ``peak_history_batches`` is the largest
+        physical output buffer any task held (bounded-memory evidence).
+        """
+        wall = self.wall_seconds
+        return {
+            "processed_events": self.processed_events,
+            "simulated_seconds": self.simulated_seconds,
+            "wall_seconds": wall,
+            "sim_seconds_per_wall_second":
+                self.simulated_seconds / wall if wall > 0 else 0.0,
+            "events_per_second":
+                self.processed_events / wall if wall > 0 else 0.0,
+            "peak_history_batches": self.peak_history_batches,
+        }
 
     # ------------------------------------------------------------------
     def cpu_of(self, task: TaskId) -> TaskCpu:

@@ -138,13 +138,15 @@ class RecoveryContext:
         """Current virtual time in seconds."""
         return self._engine.sim.now
 
-    def at(self, time: float, fn: Callable[[], None], priority: int = 0) -> None:
-        """Schedule ``fn`` at absolute virtual time ``time``."""
-        self._engine.sim.at(time, fn, priority)
+    def at(self, time: float, fn: Callable[..., None], priority: int = 0,
+           args: tuple = ()) -> None:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        self._engine.sim.at(time, fn, priority, args)
 
-    def after(self, delay: float, fn: Callable[[], None], priority: int = 0) -> None:
-        """Schedule ``fn`` ``delay`` virtual seconds from now."""
-        self._engine.sim.after(delay, fn, priority)
+    def after(self, delay: float, fn: Callable[..., None], priority: int = 0,
+              args: tuple = ()) -> None:
+        """Schedule ``fn(*args)`` ``delay`` virtual seconds from now."""
+        self._engine.sim.after(delay, fn, priority, args)
 
     # -- tasks and state ------------------------------------------------
     def runtime(self, task: TaskId) -> TaskRuntime:
@@ -179,6 +181,17 @@ class RecoveryContext:
     def produce_source_batch(self, rt: TaskRuntime, index: int) -> None:
         """Make source task ``rt`` produce batch ``index`` now."""
         self._engine._produce_source_batch(rt, index)
+
+    def replay_batch(self, up: TaskRuntime, sub: TaskId, index: int) -> Batch:
+        """The output batch ``up`` sent to ``sub`` at ``index``, for resend.
+
+        Reads the physically-retained buffer when the batch is still there;
+        physically-trimmed *source* batches are regenerated exactly from the
+        (pure, memoized) source function.  A trimmed non-source batch is a
+        retention-window bug, reported loudly rather than silently replayed
+        wrong.
+        """
+        return self._engine._replay_batch(up, sub, index)
 
     def schedule_source_emission(self, rt: TaskRuntime, index: int) -> None:
         """Re-arm source ``rt``'s normal emission chain at batch ``index``."""
@@ -266,7 +279,7 @@ class RecoveryScheme:
             resend = rt.buffered_tuples(rt.replica_synced, rt.emitted)
             delay = costs.takeover_fixed + resend * costs.per_tuple_resend
             ctx.metrics.cpu_of(rt.task).replay += resend * costs.per_tuple_resend
-            ctx.after(delay, lambda: self.complete_takeover(rt))
+            ctx.after(delay, self.complete_takeover, args=(rt,))
             return
         if rt.status is not TaskStatus.FAILED:
             return
@@ -277,9 +290,8 @@ class RecoveryScheme:
         if ctx.config.tentative_outputs:
             self.start_forging(rt)
         if ctx.config.recovery_enabled:
-            ctx.after(
-                ctx.config.costs.restart_delay, lambda: self.restore_task(rt)
-            )
+            ctx.after(ctx.config.costs.restart_delay, self.restore_task,
+                      args=(rt,))
 
     def complete_takeover(self, rt: TaskRuntime) -> None:
         """Replica becomes primary: flush held outputs, resume serving."""
@@ -402,9 +414,10 @@ class RecoveryScheme:
         """Resend ``up``'s buffered output batches ``(from, upto]`` to ``sub``."""
         ctx = self.ctx
         costs = ctx.config.costs
+        sizes = up.output_sizes
         indices = [
             i for i in range(from_exclusive + 1, upto + 1)
-            if i in up.history and sub.task in up.history[i]
+            if i in sizes and sub.task in sizes[i]
         ]
         if not indices:
             return
@@ -414,13 +427,13 @@ class RecoveryScheme:
             ready = self.ensure_recomputed(up, min(pruned), max(pruned))
         cursor = max(ready, ctx.now)
         for index in indices:
-            batch = up.history[index][sub.task]
+            batch = ctx.replay_batch(up, sub.task, index)
             resend_cost = batch.size * costs.per_tuple_resend
             cursor = max(cursor, up.busy_until) + resend_cost
             up.busy_until = cursor
             ctx.metrics.cpu_of(up.task).replay += resend_cost
             send_at = cursor + costs.network_delay
-            ctx.at(send_at, lambda b=batch: ctx.deliver(b))
+            ctx.at(send_at, ctx.deliver, args=(batch,))
 
     def ensure_recomputed(self, rt: TaskRuntime, lo: int, hi: int) -> float:
         """Virtual time when ``rt`` has regenerated output batches [lo, hi].
@@ -452,10 +465,11 @@ class RecoveryScheme:
                     upstream_ready = max(
                         upstream_ready, self.ensure_recomputed(up, lo, hi)
                     )
+                up_sizes = up.output_sizes
                 input_tuples += sum(
-                    up.history[i][rt.task].size
+                    up_sizes[i][rt.task]
                     for i in range(lo, hi + 1)
-                    if i in up.history and rt.task in up.history[i]
+                    if i in up_sizes and rt.task in up_sizes[i]
                 )
             cost = input_tuples * costs.per_tuple_process
             ready = max(upstream_ready, rt.busy_until, ctx.now) + cost
@@ -482,7 +496,7 @@ class RecoveryScheme:
                + ctx.config.costs.network_delay)
         if due > ctx.end_time + 1e-9:
             return
-        ctx.at(max(due, ctx.now), lambda: self.forge(failed, sub, index))
+        ctx.at(max(due, ctx.now), self.forge, args=(failed, sub, index))
 
     def forge(self, failed: TaskRuntime, sub: TaskRuntime, index: int) -> None:
         """Deliver one forged punctuation (unless the task recovered)."""

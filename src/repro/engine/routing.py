@@ -5,6 +5,16 @@ rate model; the engine needs the *actual* routing function.  Keys are hashed
 with CRC32 so routing is stable across runs and processes (Python's builtin
 ``hash`` is salted), and the same key always lands on the same downstream
 task — which keeps co-partitioned joins correct.
+
+The router is table-driven: for every ``(source task, downstream operator)``
+pair a :class:`_DispatchPlan` is computed once at construction, holding the
+interned destination :class:`TaskId` instances and (for hash-partitioned
+edges) a memoized ``key -> destination index`` table that grows as keys are
+seen.  :meth:`Router.distribute` is then a single pass per downstream
+operator — no per-tuple CRC32 for repeated keys, no per-tuple ``TaskId``
+allocation, no per-destination re-scan.  The original per-tuple routing
+functions are kept as :meth:`Router.distribute_reference` so parity tests can
+assert the two paths agree on arbitrary topologies.
 """
 
 from __future__ import annotations
@@ -27,6 +37,33 @@ def _split_members(upstream_index: int, n_up: int, n_down: int) -> list[int]:
     return [j for j in range(n_down) if j * n_up // n_down == upstream_index]
 
 
+#: Per-edge key-memo capacity.  Repeated keys (the common, bounded-key-space
+#: workloads) stay memoized; a high-cardinality key stream simply stops
+#: inserting once the table is full and falls back to hashing per miss, so
+#: routing memory stays bounded whatever the workload emits.
+KEY_TABLE_CAPACITY = 1 << 16
+
+
+class _DispatchPlan:
+    """Precomputed routing of one source task onto one downstream operator.
+
+    ``targets`` are the interned destination tasks in downstream-index order
+    (exactly the source's substream targets on this edge).  ``key_table``
+    memoizes ``key -> position in targets`` for hash-partitioned patterns;
+    it is ``None`` for single-target patterns (one-to-one, merge), where
+    every tuple goes to ``targets[0]``.  For ``full`` edges the table is
+    shared across all source tasks of the edge — the key mapping is
+    source-independent there.
+    """
+
+    __slots__ = ("targets", "key_table")
+
+    def __init__(self, targets: tuple[TaskId, ...],
+                 key_table: dict[str, int] | None):
+        self.targets = targets
+        self.key_table = key_table
+
+
 class Router:
     """Per-edge routing: distributes a task's output tuples to batches."""
 
@@ -35,6 +72,36 @@ class Router:
         self._route_fns: dict[tuple[str, str], Callable[[TaskId, str], int]] = {}
         for edge in topology.edges():
             self._route_fns[(edge.upstream, edge.downstream)] = self._make_route(edge)
+        self._plans: dict[TaskId, tuple[_DispatchPlan, ...]] = {}
+        self._build_plans()
+
+    # ------------------------------------------------------------------
+    # Table construction
+    # ------------------------------------------------------------------
+    def _build_plans(self) -> None:
+        topology = self._topology
+        for edge in topology.edges():
+            hashed = edge.pattern in (Partitioning.SPLIT, Partitioning.FULL)
+            # FULL routes every key identically from any source task, so one
+            # memo table serves the whole edge; SPLIT member groups differ
+            # per source task and get their own tables.
+            shared_table: dict[str, int] | None = (
+                {} if edge.pattern is Partitioning.FULL else None
+            )
+            for src in topology.tasks_of(edge.upstream):
+                # The substream targets on this edge, in downstream-index
+                # order — the same set the per-tuple route functions hit.
+                targets = tuple(
+                    dst for dst, _w in topology.output_substreams(src)
+                    if dst.operator == edge.downstream
+                )
+                table: dict[str, int] | None = None
+                if hashed:
+                    table = shared_table if shared_table is not None else {}
+                plan = _DispatchPlan(targets, table)
+                self._plans[src] = self._plans.get(src, ()) + (plan,)
+        for task in topology.tasks():
+            self._plans.setdefault(task, ())
 
     def _make_route(self, edge: StreamEdge) -> Callable[[TaskId, str], int]:
         n_up = self._topology.operator(edge.upstream).parallelism
@@ -55,12 +122,47 @@ class Router:
         # FULL: hash-partition over all downstream tasks.
         return lambda src, key: stable_hash(key) % n_down
 
+    # ------------------------------------------------------------------
+    # Distribution
+    # ------------------------------------------------------------------
     def distribute(self, src: TaskId, tuples: list[KeyedTuple]
                    ) -> dict[TaskId, list[KeyedTuple]]:
         """Split ``src``'s output tuples into per-downstream-task lists.
 
         Every downstream task that ``src`` feeds gets an entry — possibly an
         empty list — because empty batches still act as punctuations.
+        """
+        out: dict[TaskId, list[KeyedTuple]] = {}
+        crc32 = zlib.crc32
+        for plan in self._plans[src]:
+            targets = plan.targets
+            table = plan.key_table
+            if table is None:
+                # Single destination: the whole output is one substream.
+                out[targets[0]] = list(tuples)
+                continue
+            buckets: list[list[KeyedTuple]] = [[] for _ in targets]
+            n = len(targets)
+            table_get = table.get
+            for item in tuples:
+                key = item[0]
+                pos = table_get(key)
+                if pos is None:
+                    pos = crc32(key.encode("utf-8")) % n
+                    if len(table) < KEY_TABLE_CAPACITY:
+                        table[key] = pos
+                buckets[pos].append(item)
+            for dst, bucket in zip(targets, buckets):
+                out[dst] = bucket
+        return out
+
+    def distribute_reference(self, src: TaskId, tuples: list[KeyedTuple]
+                             ) -> dict[TaskId, list[KeyedTuple]]:
+        """Per-tuple reference implementation of :meth:`distribute`.
+
+        Routes every tuple through the original per-edge routing functions.
+        Kept (and exercised by the parity tests) as the executable
+        specification the table-driven fast path must match exactly.
         """
         out: dict[TaskId, list[KeyedTuple]] = {
             dst: [] for dst, _w in self._topology.output_substreams(src)

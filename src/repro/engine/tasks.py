@@ -2,10 +2,20 @@
 
 A :class:`TaskRuntime` holds everything that belongs to one logical task:
 batch-protocol position, inbox, output history (the output buffer of
-Sec. II-B, physically retained for the whole run with logical trim points for
-cost accounting), checkpoint/trim bookkeeping, replica-sync position and
-recovery bookkeeping.  All *behaviour* lives in
-:mod:`repro.engine.engine`; this module is deliberately mostly data.
+Sec. II-B), checkpoint/trim bookkeeping, replica-sync position and recovery
+bookkeeping.  All *behaviour* lives in :mod:`repro.engine.engine`; this
+module is deliberately mostly data.
+
+The output buffer is split into two layers so a long run keeps bounded
+memory without changing recovery semantics:
+
+* :attr:`TaskRuntime.history` holds the actual :class:`Batch` objects and is
+  *physically trimmed* (:meth:`TaskRuntime.trim_history`) once batches fall
+  behind both the logical trim point and the replay retention window;
+* :attr:`TaskRuntime.output_sizes` is a compact per-batch, per-destination
+  tuple-count skeleton retained for the whole run, so replay/takeover cost
+  accounting (:meth:`buffered_tuples`, recompute-on-replay) stays byte
+  identical to the physically-retained implementation.
 """
 
 from __future__ import annotations
@@ -67,9 +77,17 @@ class TaskRuntime:
         self.busy_until = 0.0
 
         #: Output history: batch index -> destination -> batch.  Physically
-        #: retained; ``trimmed_upto`` marks what a real system would have
-        #: pruned (replaying pruned batches charges recompute cost).
+        #: trimmed via :meth:`trim_history`; ``trimmed_upto`` marks what a
+        #: real system would have pruned (replaying pruned batches charges
+        #: recompute cost).
         self.history: dict[int, dict[TaskId, Batch]] = {}
+        #: Per-batch, per-destination tuple counts; survives physical trims
+        #: so cost accounting over pruned ranges is unchanged.
+        self.output_sizes: dict[int, dict[TaskId, int]] = {}
+        #: Lowest batch index whose content may still be in ``history``.
+        self.history_floor = 0
+        #: Largest ``len(history)`` ever observed (memory diagnostics).
+        self.peak_history_batches = 0
         self.trimmed_upto = -1
         #: Per-subscriber checkpoint acknowledgements driving the trim.
         self.acked: dict[TaskId, int] = {}
@@ -141,13 +159,36 @@ class TaskRuntime:
             for u, before in self.pre_failure_progress.items()
         )
 
+    def record_output(self, index: int, per_dst: dict[TaskId, Batch]) -> None:
+        """Store batch ``index``'s output content and its size skeleton."""
+        self.history[index] = per_dst
+        self.output_sizes[index] = {dst: b.size for dst, b in per_dst.items()}
+        n = len(self.history)
+        if n > self.peak_history_batches:
+            self.peak_history_batches = n
+
+    def trim_history(self, horizon: int) -> None:
+        """Physically delete batch content at indices ``<= horizon``.
+
+        Only :attr:`history` shrinks; :attr:`output_sizes` keeps the count
+        skeleton so replay/takeover cost accounting still covers the pruned
+        range.  Amortised O(1) per emitted batch via :attr:`history_floor`.
+        """
+        if horizon < self.history_floor:
+            return
+        pop = self.history.pop
+        for index in range(self.history_floor, horizon + 1):
+            pop(index, None)
+        self.history_floor = horizon + 1
+
     def buffered_tuples(self, lo_exclusive: int, hi_inclusive: int) -> int:
         """Total tuples in output batches ``(lo, hi]`` (takeover/replay cost)."""
         total = 0
+        sizes = self.output_sizes
         for index in range(lo_exclusive + 1, hi_inclusive + 1):
-            per_dst = self.history.get(index)
+            per_dst = sizes.get(index)
             if per_dst:
-                total += sum(b.size for b in per_dst.values())
+                total += sum(per_dst.values())
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

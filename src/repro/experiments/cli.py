@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments schemes --fast
     python -m repro.experiments all
     python -m repro.experiments scenario my_scenario.json --recovery active-standby
+    python -m repro.experiments scenario my_scenario.json --profile
     python -m repro.experiments grid my_grid.json --backend processes \
         --recovery ppa checkpoint-replay \
         --output results.jsonl --cache-dir ~/.cache/repro-grid --resume
@@ -176,6 +177,9 @@ def _scenario_main(argv: Sequence[str]) -> int:
     parser.add_argument("--recovery", default=None, metavar="SCHEME",
                         help="override the scenario's fault-tolerance scheme "
                              f"(registered: {', '.join(RECOVERY_SCHEMES.names())})")
+    parser.add_argument("--profile", action="store_true",
+                        help="collect and print engine throughput "
+                             "(events/s, sim-s per wall-s, peak history)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="print the full ScenarioResult as JSON")
     args = parser.parse_args(argv)
@@ -189,7 +193,7 @@ def _scenario_main(argv: Sequence[str]) -> int:
     scenario = Scenario.from_dict(data)
     if args.recovery:
         scenario = _force_recovery(scenario, args.recovery)
-    result = run_scenario(scenario)
+    result = run_scenario(scenario, profile=args.profile)
     if args.as_json:
         print(json.dumps(result.to_dict(), indent=2))
     else:

@@ -36,14 +36,24 @@ class WindowedSelectivityOperator(OperatorLogic):
                       inputs: Mapping[TaskId, Sequence[KeyedTuple]]
                       ) -> list[KeyedTuple]:
         out: list[KeyedTuple] = []
+        window = self.window
+        acc = self._accumulator
+        selectivity = self.selectivity
         for upstream in sorted(inputs):
-            for key, value in inputs[upstream]:
-                self.window.add(batch_end_time, (key, value))
-                self._accumulator += self.selectivity
-                if self._accumulator >= 1.0:
-                    self._accumulator -= 1.0
-                    out.append((key, value))
-        self.window.evict(batch_end_time)
+            batch = inputs[upstream]
+            window.extend(batch_end_time, batch)
+            if selectivity >= 1.0:
+                # Pass-through: every tuple emits and the accumulator is a
+                # fixed point (acc + 1.0 >= 1.0 always, then -1.0 undoes it).
+                out.extend(batch)
+                continue
+            for item in batch:
+                acc += selectivity
+                if acc >= 1.0:
+                    acc -= 1.0
+                    out.append(item)
+        self._accumulator = acc
+        window.evict(batch_end_time)
         return out
 
     def state_size(self) -> int:

@@ -8,7 +8,8 @@ size and eviction semantics are uniform.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Iterator
+from itertools import repeat
+from typing import Any, Iterable, Iterator
 
 
 class SlidingWindow:
@@ -24,9 +25,32 @@ class SlidingWindow:
         self.window_seconds = window_seconds
         self._entries: deque[tuple[float, Any]] = deque()
 
+    def __deepcopy__(self, memo: dict) -> "SlidingWindow":
+        # Checkpoint snapshots deep-copy operator state on the hot path.
+        # Window entries are immutable by contract (see :meth:`add`), so a
+        # fresh deque over the same entry tuples is a correct deep copy and
+        # avoids recursively copying every tuple in the window.
+        clone = SlidingWindow.__new__(SlidingWindow)
+        clone.window_seconds = self.window_seconds
+        clone._entries = deque(self._entries)
+        memo[id(self)] = clone
+        return clone
+
     def add(self, timestamp: float, item: Any) -> None:
-        """Append an entry (timestamps must arrive in order)."""
+        """Append an entry (timestamps must arrive in order).
+
+        Items must be treated as immutable once added: checkpoint snapshots
+        share entry tuples with the live window (:meth:`__deepcopy__`).
+        """
         self._entries.append((timestamp, item))
+
+    def extend(self, timestamp: float, items: Iterable[Any]) -> None:
+        """Bulk-append ``items`` at one timestamp (the per-batch hot path).
+
+        Equivalent to calling :meth:`add` per item, but the entry tuples are
+        built by ``zip``/``repeat`` in C instead of a Python-level loop.
+        """
+        self._entries.extend(zip(repeat(timestamp), items))
 
     def evict(self, now: float) -> int:
         """Drop entries with ``timestamp <= now − window_seconds``; return count."""

@@ -131,6 +131,11 @@ class ScenarioResult:
     batches_forged: int = 0
     complete_sink_batches: int = 0
     tentative_sink_batches: int = 0
+    #: Engine-throughput profile (processed events, wall seconds, peak
+    #: physical history) — only collected when the run was profiled, and
+    #: machine-dependent, so it never participates in digests or
+    #: result-equality comparisons of unprofiled runs.
+    profile: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -161,7 +166,18 @@ class ScenarioResult:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        """JSON-native representation of the full result."""
+        """JSON-native representation of the full result.
+
+        The machine-dependent ``profile`` block only appears when the run
+        was profiled, so unprofiled results from different backends stay
+        bit-for-bit comparable.
+        """
+        out = self._to_dict_base()
+        if self.profile is not None:
+            out["profile"] = dict(self.profile)
+        return out
+
+    def _to_dict_base(self) -> dict[str, Any]:
         return {
             "scenario": self.scenario.to_dict(),
             "plan": {
@@ -204,8 +220,14 @@ class ScenarioResult:
             "failed_tasks", "recoveries", "mean_recovery_latency",
             "max_recovery_latency", "all_recovered", "batches_processed",
             "tuples_processed", "checkpoints_taken", "batches_forged",
-            "complete_sink_batches", "tentative_sink_batches",
+            "complete_sink_batches", "tentative_sink_batches", "profile",
         ))
+        profile = data.get("profile")
+        if profile is not None and not isinstance(profile, Mapping):
+            raise ScenarioError(
+                f"result field 'profile' must be an object, got "
+                f"{type(profile).__name__}"
+            )
         for key in ("scenario", "plan"):
             if key not in data:
                 raise ScenarioError(
@@ -262,6 +284,7 @@ class ScenarioResult:
             batches_forged=_typed(data, "batches_forged", int, 0),
             complete_sink_batches=_typed(data, "complete_sink_batches", int, 0),
             tentative_sink_batches=_typed(data, "tentative_sink_batches", int, 0),
+            profile=dict(profile) if profile is not None else None,
         )
 
     def render(self) -> str:
@@ -297,14 +320,29 @@ class ScenarioResult:
             f"{self.batches_processed} batches / "
             f"{self.tuples_processed} tuples processed"
         )
+        if self.profile:
+            p = self.profile
+            lines.append(
+                f"profile: {p.get('sim_seconds_per_wall_second', 0.0):,.0f} "
+                f"sim-s/wall-s, {p.get('events_per_second', 0.0):,.0f} "
+                f"events/s ({p.get('processed_events', 0)} events in "
+                f"{p.get('wall_seconds', 0.0):.3f}s wall), peak history "
+                f"{p.get('peak_history_batches', 0)} batches"
+            )
         return "\n".join(lines)
 
 
 class ScenarioRunner:
-    """Resolves a :class:`Scenario` against the registries and executes it."""
+    """Resolves a :class:`Scenario` against the registries and executes it.
 
-    def __init__(self, scenario: Scenario):
+    With ``profile=True`` the result carries the engine-throughput profile
+    (events/second, simulated-seconds-per-wall-second, peak physical output
+    history) in :attr:`ScenarioResult.profile`.
+    """
+
+    def __init__(self, scenario: Scenario, *, profile: bool = False):
         self.scenario = scenario
+        self.profile = profile
 
     # ------------------------------------------------------------------
     # Resolution steps (each usable on its own for inspection/tests)
@@ -469,10 +507,11 @@ class ScenarioRunner:
             batches_forged=metrics.batches_forged,
             complete_sink_batches=len(metrics.sink_outputs(tentative=False)),
             tentative_sink_batches=len(metrics.sink_outputs(tentative=True)),
+            profile=metrics.profile() if self.profile else None,
         )
 
 
-def run_scenario(scenario: Scenario) -> ScenarioResult:
+def run_scenario(scenario: Scenario, *, profile: bool = False) -> ScenarioResult:
     """Execute ``scenario`` end-to-end (the one-call façade).
 
     >>> from repro.scenarios import Scenario, FailureSpec, run_scenario
@@ -488,4 +527,4 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     >>> 0.0 <= result.worst_case_fidelity <= 1.0 and result.all_recovered
     True
     """
-    return ScenarioRunner(scenario).run()
+    return ScenarioRunner(scenario, profile=profile).run()

@@ -13,6 +13,11 @@ from repro.errors import WorkloadError
 from repro.topology.operators import TaskId
 
 
+def _key_cycle(key_space: int) -> tuple[str, ...]:
+    """The round-robin key strings, interned once instead of per tuple."""
+    return tuple(f"k{j}" for j in range(key_space))
+
+
 class UniformRateSource(SourceFunction):
     """Emits ``rate × batch_interval`` tuples per batch per task."""
 
@@ -25,6 +30,7 @@ class UniformRateSource(SourceFunction):
         self.rate_per_task = rate_per_task
         self.batch_interval = batch_interval
         self.key_space = key_space
+        self._keys = _key_cycle(key_space)
 
     def tuples_per_batch(self) -> int:
         """Number of tuples each task emits per batch."""
@@ -33,9 +39,9 @@ class UniformRateSource(SourceFunction):
     def tuples_for_batch(self, task: TaskId, batch_index: int) -> list[KeyedTuple]:
         count = self.tuples_per_batch()
         base = batch_index * count
+        keys, space, owner = self._keys, self.key_space, task.index
         return [
-            (f"k{(base + i) % self.key_space}", (task.index, base + i))
-            for i in range(count)
+            (keys[(base + i) % space], (owner, base + i)) for i in range(count)
         ]
 
 
@@ -71,6 +77,7 @@ class SquareWaveSource(SourceFunction):
         self.duty = duty
         self.batch_interval = batch_interval
         self.key_space = key_space
+        self._keys = _key_cycle(key_space)
         self.high_batches = min(period_batches - 1,
                                 max(1, round(duty * period_batches)))
         high_count = round(high_rate * batch_interval)
@@ -96,7 +103,7 @@ class SquareWaveSource(SourceFunction):
         periods, phase = divmod(batch_index, self.period_batches)
         count = self._counts[phase]
         base = periods * self._offsets[-1] + self._offsets[phase]
+        keys, space, owner = self._keys, self.key_space, task.index
         return [
-            (f"k{(base + i) % self.key_space}", (task.index, base + i))
-            for i in range(count)
+            (keys[(base + i) % space], (owner, base + i)) for i in range(count)
         ]

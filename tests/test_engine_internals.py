@@ -79,11 +79,29 @@ class TestTaskRuntime:
 
     def test_buffered_tuples_counts_range(self):
         rt = _runtime()
-        rt.history[1] = {UP: Batch(T, UP, 1, (("k", 1), ("k", 2)))}
-        rt.history[2] = {UP: Batch(T, UP, 2, (("k", 3),))}
+        rt.record_output(1, {UP: Batch(T, UP, 1, (("k", 1), ("k", 2)))})
+        rt.record_output(2, {UP: Batch(T, UP, 2, (("k", 3),))})
         assert rt.buffered_tuples(0, 2) == 3
         assert rt.buffered_tuples(1, 2) == 1
         assert rt.buffered_tuples(2, 2) == 0
+
+    def test_buffered_tuples_survive_physical_trim(self):
+        rt = _runtime()
+        rt.record_output(1, {UP: Batch(T, UP, 1, (("k", 1), ("k", 2)))})
+        rt.record_output(2, {UP: Batch(T, UP, 2, (("k", 3),))})
+        rt.trim_history(1)
+        assert 1 not in rt.history and 2 in rt.history
+        assert rt.history_floor == 2
+        assert rt.buffered_tuples(0, 2) == 3  # skeleton keeps the counts
+
+    def test_trim_history_is_monotonic(self):
+        rt = _runtime()
+        for index in range(4):
+            rt.record_output(index, {UP: Batch(T, UP, index, (("k", index),))})
+        rt.trim_history(2)
+        rt.trim_history(0)  # going backwards is a no-op
+        assert sorted(rt.history) == [3]
+        assert rt.peak_history_batches == 4
 
 
 class TestBatches:

@@ -102,3 +102,46 @@ class TestDrain:
             sim.at(t, lambda: None)
         sim.run_until(5.0)
         assert sim.processed_events == 2
+
+    def test_drain_allows_exactly_max_events(self):
+        """Regression: draining an emptying queue of exactly ``max_events``
+        events must succeed — the budget only applies while events remain."""
+        sim = Simulator()
+        log = []
+        for t in (1.0, 2.0, 3.0):
+            sim.at(t, lambda: log.append(sim.now))
+        sim.drain(max_events=3)
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_drain_raises_only_when_live_events_remain(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            sim.at(t, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.drain(max_events=3)
+
+    def test_drain_budget_ignores_cancelled_events(self):
+        sim = Simulator()
+        executed = []
+        handles = [sim.at(float(t), lambda: None) for t in range(1, 4)]
+        for handle in handles:
+            handle.cancel()
+        sim.at(5.0, lambda: executed.append(True))
+        sim.drain(max_events=1)  # three cancelled + one live event
+        assert executed == [True]
+
+
+class TestCallbackArgs:
+    def test_at_passes_args(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, log.append, args=("payload",))
+        sim.run_until(1.0)
+        assert log == ["payload"]
+
+    def test_after_passes_args(self):
+        sim = Simulator()
+        log = []
+        sim.after(0.5, lambda a, b: log.append(a + b), args=(1, 2))
+        sim.drain()
+        assert log == [3]
