@@ -4,12 +4,22 @@ Each cell is a small custom-topology engine run (pure CPU, deterministic),
 so the processes backend shows real multi-core speedup while threads mostly
 measure coordination overhead under the GIL.  The benchmark also asserts
 that every backend produces identical results — the ordering-independent
-collection path must not change outcomes.
+collection path (and the prebuilt-worker fast path, which is the default
+runner) must not change outcomes.
+
+Scores are normalized with the same calibration loop as
+``benchmarks/baseline.py`` (see ``benchmarks/calibration.py``): every
+benchmark records ``cells_per_second`` and machine-independent
+``normalized_cells_per_second`` in its ``extra_info``, so numbers from
+different machines — and from the committed ``BENCH_engine.json`` — are
+directly comparable.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from calibration import calibration_ops_per_second, normalized_score
 
 from repro.scenarios import (
     EdgeDef,
@@ -61,14 +71,25 @@ def run_with(backend: str) -> list:
 
 
 @pytest.fixture(scope="module")
+def calibration() -> float:
+    return calibration_ops_per_second()
+
+
+@pytest.fixture(scope="module")
 def serial_baseline() -> list:
     return run_with("serial")
 
 
 @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
-def test_grid_backend_throughput(benchmark, backend, serial_baseline):
+def test_grid_backend_throughput(benchmark, backend, serial_baseline,
+                                 calibration):
     results = benchmark.pedantic(run_with, args=(backend,),
                                  rounds=1, iterations=1)
     assert results == serial_baseline, (
         f"{backend} backend must match the serial results exactly"
     )
+    cells_per_second = 64 / benchmark.stats.stats.min
+    benchmark.extra_info["cells_per_second"] = round(cells_per_second, 3)
+    benchmark.extra_info["calibration_ops_per_second"] = round(calibration, 1)
+    benchmark.extra_info["normalized_cells_per_second"] = normalized_score(
+        cells_per_second, calibration)

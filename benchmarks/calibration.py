@@ -1,0 +1,37 @@
+"""Machine-speed calibration shared by the benchmark harnesses.
+
+Absolute wall-clock numbers are machine-dependent, so every benchmark score
+in this repo is *normalized* by the throughput of this fixed pure-Python
+loop measured in the same process.  ``benchmarks/baseline.py`` (the CI
+regression gate) and ``benchmarks/bench_grid_backends.py`` import the same
+helper, so their normalized numbers are directly comparable across
+machines — and with the committed ``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def calibration_ops_per_second() -> float:
+    """Throughput of a fixed pure-Python loop, for machine normalization."""
+    n = 200_000
+
+    def unit() -> int:
+        acc = 0
+        for i in range(n):
+            acc = (acc + i * 7) % 1000003
+        return acc
+
+    unit()  # warm up
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        unit()
+        best = min(best, time.perf_counter() - start)
+    return n / best
+
+
+def normalized_score(score: float, calibration: float) -> float:
+    """The machine-normalized form of a higher-is-better ``score``."""
+    return round(score / calibration * 1e6, 4)

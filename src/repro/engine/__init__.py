@@ -9,6 +9,13 @@ from repro.engine.cluster import Cluster, Node, NodeKind
 from repro.engine.config import CostModel, EngineConfig, PassiveStrategy
 from repro.engine.engine import StreamEngine
 from repro.engine.events import EventHandle, Simulator
+from repro.engine.kernels import (
+    BatchKernel,
+    active_kernel,
+    kernel_backend,
+    numpy_available,
+    set_kernel_backend,
+)
 from repro.engine.logic import (
     LogicFactory,
     MemoizedSource,
@@ -33,6 +40,7 @@ from repro.engine.tuples import Batch, KeyedTuple, SinkRecord, forged_batch
 
 __all__ = [
     "Batch",
+    "BatchKernel",
     "Checkpoint",
     "CheckpointStore",
     "Cluster",
@@ -60,7 +68,11 @@ __all__ = [
     "TaskCpu",
     "TaskRuntime",
     "TaskStatus",
+    "active_kernel",
     "create_scheme",
     "forged_batch",
+    "kernel_backend",
+    "numpy_available",
+    "set_kernel_backend",
     "stable_hash",
 ]

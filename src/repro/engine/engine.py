@@ -54,7 +54,9 @@ class StreamEngine:
                  config: EngineConfig | None = None, *,
                  plan: ReplicationPlan | Iterable[TaskId] = (),
                  cluster: Cluster | None = None,
-                 source_replay_window_batches: int = 30):
+                 source_replay_window_batches: int = 30,
+                 router: Router | None = None,
+                 source_memos: "dict[TaskId, MemoizedSource] | None" = None):
         self.topology = topology
         self.logic_factory = logic
         self.config = config or EngineConfig()
@@ -86,7 +88,18 @@ class StreamEngine:
 
         self.sim = Simulator()
         self.metrics = MetricsCollector(plan=self.plan)
-        self.router = Router(topology)
+        # Routing tables are a pure function of the topology, so repeated
+        # runs over one topology (grid cells, prebuilt workers) can share a
+        # prebuilt Router — its key memo is content-transparent.
+        if router is not None and router.topology is not topology:
+            raise SimulationError(
+                "router was built for a different topology instance"
+            )
+        self.router = router if router is not None else Router(topology)
+        # Optional cross-run memo of source batches: source functions are
+        # pure, so repeated runs over one workload (grid cells) can share
+        # the generated tuples instead of regenerating them per run.
+        self._source_memos = source_memos
         self.checkpoints = CheckpointStore()
         self.cluster = cluster or self._default_cluster()
         self._detected_nodes: set[str] = set()
@@ -123,11 +136,17 @@ class StreamEngine:
             if spec.is_source:
                 # Sources are pure, so their batches are memoized: replays
                 # and trimmed-log regeneration reuse tuples instead of
-                # recomputing them.
-                source_fn = MemoizedSource(
-                    self.logic_factory.source_for(task), task,
-                    capacity=self._retention_batches + 8,
-                )
+                # recomputing them.  A shared memo dict extends the reuse
+                # across runs of the same workload.
+                memos = self._source_memos
+                source_fn = None if memos is None else memos.get(task)
+                if source_fn is None:
+                    source_fn = MemoizedSource(
+                        self.logic_factory.source_for(task), task,
+                        capacity=self._retention_batches + 8,
+                    )
+                    if memos is not None:
+                        memos[task] = source_fn
             runtime = TaskRuntime(
                 task,
                 is_source=spec.is_source,
@@ -230,12 +249,16 @@ class StreamEngine:
     def _emit_outputs(self, rt: TaskRuntime, index: int,
                       tuples: list[KeyedTuple] | tuple[KeyedTuple, ...],
                       complete: bool) -> None:
-        distributed = self.router.distribute(rt.task, list(tuples))
+        # Zero-copy handoff: the router's buckets go into the batches as-is
+        # (no per-destination re-tupling), and the same sequence objects are
+        # then shared between the output history, the downstream inbox and
+        # any operator windows.  Batch tuples are immutable by contract.
+        distributed = self.router.distribute(rt.task, tuples)
         per_dst: dict[TaskId, Batch] = {}
         for dst, dst_tuples in distributed.items():
             per_dst[dst] = Batch(
                 src=rt.task, dst=dst, index=index,
-                tuples=tuple(dst_tuples), complete=complete,
+                tuples=dst_tuples, complete=complete,
             )
         rt.record_output(index, per_dst)
         rt.emitted = max(rt.emitted, index)
@@ -388,7 +411,7 @@ class StreamEngine:
         tuples = up.source_fn.tuples_for_batch(up.task, index)
         dst_tuples = self.router.distribute(up.task, tuples)[sub]
         return Batch(src=up.task, dst=sub, index=index,
-                     tuples=tuple(dst_tuples), complete=True)
+                     tuples=dst_tuples, complete=True)
 
     # ------------------------------------------------------------------
     # Failure injection and detection

@@ -34,6 +34,21 @@ class OperatorLogic(abc.ABC):
         deterministic order given (upstream tasks are pre-sorted).
         """
 
+    def process_batch_reference(self, task: TaskId, batch_end_time: float,
+                                inputs: Mapping[TaskId, Sequence[KeyedTuple]]
+                                ) -> list[KeyedTuple]:
+        """Per-tuple executable specification of :meth:`process_batch`.
+
+        Kernelized operators (see :mod:`repro.engine.kernels`) override this
+        with the original per-tuple implementation so randomized parity
+        tests can pin the batch kernels to it — the same contract as
+        :meth:`repro.engine.routing.Router.distribute_reference`.  The two
+        paths may maintain differently-shaped internal state, so drive each
+        on its own operator instance; for operators without a kernel the
+        default simply runs the (single) implementation.
+        """
+        return self.process_batch(task, batch_end_time, inputs)
+
     def state_size(self) -> int:
         """Approximate number of tuples held in state (checkpoint cost)."""
         return 0
@@ -88,7 +103,16 @@ class MemoizedSource(SourceFunction):
         if cached is None:
             cached = self._fn.tuples_for_batch(task, batch_index)
             if len(batches) >= self._capacity:
-                del batches[min(batches)]
+                # Dicts preserve insertion order, so the first key is the
+                # oldest-inserted batch — O(1) instead of an O(n) min scan.
+                try:
+                    del batches[next(iter(batches))]
+                except (KeyError, StopIteration, RuntimeError):  # pragma: no cover
+                    # Shared memos (grid threads backend) may race on the
+                    # eviction — including a concurrent insert between
+                    # iter() and next() ("dictionary changed size during
+                    # iteration"); purity makes losing the race harmless.
+                    pass
             batches[batch_index] = cached
         return cached
 

@@ -75,6 +75,11 @@ class Router:
         self._plans: dict[TaskId, tuple[_DispatchPlan, ...]] = {}
         self._build_plans()
 
+    @property
+    def topology(self) -> Topology:
+        """The topology the routing tables were built for."""
+        return self._topology
+
     # ------------------------------------------------------------------
     # Table construction
     # ------------------------------------------------------------------
@@ -131,6 +136,11 @@ class Router:
 
         Every downstream task that ``src`` feeds gets an entry — possibly an
         empty list — because empty batches still act as punctuations.
+
+        Zero-copy contract: on single-destination edges the *input* list is
+        returned as the destination's bucket (and several such edges share
+        it), so callers must treat both the input and the returned buckets
+        as immutable — they flow straight into :class:`Batch` objects.
         """
         out: dict[TaskId, list[KeyedTuple]] = {}
         crc32 = zlib.crc32
@@ -138,8 +148,9 @@ class Router:
             targets = plan.targets
             table = plan.key_table
             if table is None:
-                # Single destination: the whole output is one substream.
-                out[targets[0]] = list(tuples)
+                # Single destination: the whole output is one substream —
+                # hand the caller's list over instead of copying it.
+                out[targets[0]] = tuples if type(tuples) is list else list(tuples)
                 continue
             buckets: list[list[KeyedTuple]] = [[] for _ in targets]
             n = len(targets)

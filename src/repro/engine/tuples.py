@@ -16,7 +16,7 @@ incomplete inputs, which is how sink outputs are classified as tentative.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 from repro.topology.operators import TaskId
 
@@ -26,12 +26,20 @@ KeyedTuple = tuple[str, Any]
 
 @dataclass(frozen=True)
 class Batch:
-    """One batch of tuples flowing along a substream."""
+    """One batch of tuples flowing along a substream.
+
+    ``tuples`` is a *shared, immutable-by-contract* sequence: the router's
+    per-destination buckets are handed to the batch as-is (no re-tupling at
+    emit), and the same object then lives in the upstream's output history,
+    in the downstream inbox and — for window operators — inside
+    :class:`~repro.queries.windows.SlidingWindow` blocks.  Nobody may mutate
+    a batch's tuple sequence after construction.
+    """
 
     src: TaskId
     dst: TaskId
     index: int
-    tuples: tuple[KeyedTuple, ...] = field(default=())
+    tuples: Sequence[KeyedTuple] = field(default=())
     #: False when the batch lineage lost data (tentative output path).
     complete: bool = True
     #: True when the batch is a fabricated empty punctuation for a dead task.

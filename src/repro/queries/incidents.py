@@ -13,6 +13,11 @@ incident events.  The pipeline is:
 Because O3 is a join, losing *either* input stream for a segment suppresses
 its incidents entirely — the correlation effect that makes IC a poor
 predictor and OF a good one in Fig. 12(b).
+
+Each operator's ``process_batch`` is a batch kernel (incremental per-key
+window aggregates retired via :meth:`SlidingWindow.evict_collect` instead of
+per-batch window rescans); the original per-tuple loops are kept as
+``process_batch_reference`` and pinned by the randomized parity tests.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from typing import Mapping, Sequence
 
 from repro.engine.logic import OperatorLogic
 from repro.engine.tuples import KeyedTuple
-from repro.queries.windows import SlidingWindow
+from repro.queries.windows import SlidingWindow, retire_count
 from repro.topology.operators import TaskId
 
 #: Key under which the sink emits the current jam-incident set.
@@ -34,6 +39,27 @@ class SegmentSpeedOperator(OperatorLogic):
     def process_batch(self, task: TaskId, batch_end_time: float,
                       inputs: Mapping[TaskId, Sequence[KeyedTuple]]
                       ) -> list[KeyedTuple]:
+        # Mutable [total, count] cells kill the per-tuple tuple rebuild of
+        # the reference; the additions run in the same order, so the float
+        # totals (and the 0.0 + x normalisation) are bit-identical.
+        sums: dict[str, list] = {}
+        get = sums.get
+        for upstream in sorted(inputs):
+            for segment, speed in inputs[upstream]:
+                cell = get(segment)
+                if cell is None:
+                    sums[segment] = [0.0 + float(speed), 1]
+                else:
+                    cell[0] += float(speed)
+                    cell[1] += 1
+        return [
+            (segment, total / count)
+            for segment, (total, count) in sorted(sums.items())
+        ]
+
+    def process_batch_reference(self, task: TaskId, batch_end_time: float,
+                                inputs: Mapping[TaskId, Sequence[KeyedTuple]]
+                                ) -> list[KeyedTuple]:
         sums: dict[str, tuple[float, int]] = {}
         for upstream in sorted(inputs):
             for segment, speed in inputs[upstream]:
@@ -50,7 +76,12 @@ class SegmentSpeedOperator(OperatorLogic):
 
 
 class IncidentCombineOperator(OperatorLogic):
-    """O2: combine user reports into distinct incident events (windowed dedup)."""
+    """O2: combine user reports into distinct incident events (windowed dedup).
+
+    The kernel maintains the distinct-incident set incrementally — evicted
+    incidents are removed instead of rebuilding the set from the whole
+    window every batch.
+    """
 
     def __init__(self, window_seconds: float = 300.0):
         self.window = SlidingWindow(window_seconds)
@@ -61,6 +92,22 @@ class IncidentCombineOperator(OperatorLogic):
                       ) -> list[KeyedTuple]:
         # Expire old incidents first, so a re-report after the window is
         # treated as a fresh distinct incident.
+        window = self.window
+        seen = self._seen
+        seen.difference_update(window.evict_collect(batch_end_time))
+        out: list[KeyedTuple] = []
+        for upstream in sorted(inputs):
+            for segment, incident_id in inputs[upstream]:
+                if incident_id in seen:
+                    continue
+                seen.add(incident_id)
+                window.add(batch_end_time, incident_id)
+                out.append((segment, incident_id))
+        return sorted(out)
+
+    def process_batch_reference(self, task: TaskId, batch_end_time: float,
+                                inputs: Mapping[TaskId, Sequence[KeyedTuple]]
+                                ) -> list[KeyedTuple]:
         self.window.evict(batch_end_time)
         self._seen = {incident for _ts, incident in self.window.timestamped()}
         out: list[KeyedTuple] = []
@@ -78,17 +125,52 @@ class IncidentCombineOperator(OperatorLogic):
 
 
 class SpeedIncidentJoinOperator(OperatorLogic):
-    """O3 (correlated): join speeds and incidents per segment; keep jams."""
+    """O3 (correlated): join speeds and incidents per segment; keep jams.
+
+    The kernel replaces the per-batch rescan of both windows with running
+    aggregates: a per-segment count of slow speed readings and a per-pair
+    count of live incident entries, both retired exactly on eviction.  A
+    batch then costs O(batch + evicted + distinct pairs) instead of
+    O(speeds window + incidents window).
+    """
 
     def __init__(self, window_seconds: float = 300.0, jam_speed: float = 20.0):
         self.window_seconds = window_seconds
         self.jam_speed = jam_speed
         self.speeds = SlidingWindow(window_seconds)
         self.incidents = SlidingWindow(window_seconds)
+        #: segment -> number of in-window speed readings <= jam_speed.
+        self._slow_counts: dict[str, int] = {}
+        #: (segment, incident) -> number of in-window incident entries.
+        self._pair_counts: dict[tuple[str, str], int] = {}
 
     def process_batch(self, task: TaskId, batch_end_time: float,
                       inputs: Mapping[TaskId, Sequence[KeyedTuple]]
                       ) -> list[KeyedTuple]:
+        speeds, incidents = self.speeds, self.incidents
+        slow, pairs = self._slow_counts, self._pair_counts
+        jam = self.jam_speed
+        for upstream in sorted(inputs):
+            for key, value in inputs[upstream]:
+                if isinstance(value, str):
+                    pair = (key, value)
+                    incidents.add(batch_end_time, pair)
+                    pairs[pair] = pairs.get(pair, 0) + 1
+                else:
+                    speed = float(value)
+                    speeds.add(batch_end_time, (key, speed))
+                    if speed <= jam:
+                        slow[key] = slow.get(key, 0) + 1
+        for key, speed in speeds.evict_collect(batch_end_time):
+            if speed <= jam:
+                retire_count(slow, key)
+        for pair in incidents.evict_collect(batch_end_time):
+            retire_count(pairs, pair)
+        return sorted(pair for pair in pairs if pair[0] in slow)
+
+    def process_batch_reference(self, task: TaskId, batch_end_time: float,
+                                inputs: Mapping[TaskId, Sequence[KeyedTuple]]
+                                ) -> list[KeyedTuple]:
         for upstream in sorted(inputs):
             for key, value in inputs[upstream]:
                 if isinstance(value, str):
@@ -115,14 +197,35 @@ class SpeedIncidentJoinOperator(OperatorLogic):
 
 
 class IncidentAggregateOperator(OperatorLogic):
-    """O4 (sink): the distinct jam incidents observed within the window."""
+    """O4 (sink): the distinct jam incidents observed within the window.
+
+    The kernel counts live window entries per (segment, incident) pair so
+    the distinct-incident set is read off the counts instead of rescanning
+    the window.
+    """
 
     def __init__(self, window_seconds: float = 300.0):
         self.window = SlidingWindow(window_seconds)
+        self._pair_counts: dict[tuple[str, str], int] = {}
 
     def process_batch(self, task: TaskId, batch_end_time: float,
                       inputs: Mapping[TaskId, Sequence[KeyedTuple]]
                       ) -> list[KeyedTuple]:
+        window = self.window
+        pairs = self._pair_counts
+        for upstream in sorted(inputs):
+            batch = inputs[upstream]
+            window.extend(batch_end_time, batch)
+            for pair in batch:
+                pairs[pair] = pairs.get(pair, 0) + 1
+        for pair in window.evict_collect(batch_end_time):
+            retire_count(pairs, pair)
+        incidents = frozenset(incident for _segment, incident in pairs)
+        return [(INCIDENT_RESULT_KEY, incidents)]
+
+    def process_batch_reference(self, task: TaskId, batch_end_time: float,
+                                inputs: Mapping[TaskId, Sequence[KeyedTuple]]
+                                ) -> list[KeyedTuple]:
         for upstream in sorted(inputs):
             for segment, incident_id in inputs[upstream]:
                 self.window.add(batch_end_time, (segment, incident_id))

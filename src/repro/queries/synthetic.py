@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro.engine.kernels import active_kernel
 from repro.engine.logic import OperatorLogic
 from repro.engine.tuples import KeyedTuple
 from repro.queries.windows import SlidingWindow
@@ -22,7 +23,11 @@ class WindowedSelectivityOperator(OperatorLogic):
 
     Selectivity is applied with a deterministic accumulator (every
     ``1/selectivity``-th tuple is emitted), so replicas and recovered
-    incarnations reproduce the exact same output.
+    incarnations reproduce the exact same output.  The per-batch fast path
+    dispatches the accumulator to the active
+    :class:`~repro.engine.kernels.BatchKernel`;
+    :meth:`process_batch_reference` keeps the per-tuple loop as the parity
+    specification.
     """
 
     def __init__(self, window_seconds: float = 30.0, selectivity: float = 0.5):
@@ -35,6 +40,23 @@ class WindowedSelectivityOperator(OperatorLogic):
     def process_batch(self, task: TaskId, batch_end_time: float,
                       inputs: Mapping[TaskId, Sequence[KeyedTuple]]
                       ) -> list[KeyedTuple]:
+        out: list[KeyedTuple] = []
+        window = self.window
+        acc = self._accumulator
+        selectivity = self.selectivity
+        kernel = active_kernel()
+        for upstream in sorted(inputs):
+            batch = inputs[upstream]
+            window.extend(batch_end_time, batch)
+            taken, acc = kernel.selectivity_take(batch, selectivity, acc)
+            out += taken
+        self._accumulator = acc
+        window.evict(batch_end_time)
+        return out
+
+    def process_batch_reference(self, task: TaskId, batch_end_time: float,
+                                inputs: Mapping[TaskId, Sequence[KeyedTuple]]
+                                ) -> list[KeyedTuple]:
         out: list[KeyedTuple] = []
         window = self.window
         acc = self._accumulator

@@ -11,11 +11,17 @@ site with a three-level aggregation tree:
 The engine's key routing keeps each entry on one O2 task, so partial counts
 merge correctly; losing an O1/O2 subtree removes those entries' counts and
 degrades the top-k set — which is what the OF metric predicts.
+
+Each operator's ``process_batch`` is a batch kernel (columnar counting,
+incremental window totals); the original per-tuple loops are kept as
+``process_batch_reference`` and pinned by the randomized parity tests.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import Counter
+from operator import itemgetter
 from typing import Mapping, Sequence
 
 from repro.engine.logic import OperatorLogic
@@ -34,6 +40,15 @@ class SliceAggregateOperator(OperatorLogic):
                       inputs: Mapping[TaskId, Sequence[KeyedTuple]]
                       ) -> list[KeyedTuple]:
         counts: Counter[str] = Counter()
+        first = itemgetter(0)
+        for upstream in sorted(inputs):
+            counts.update(map(first, inputs[upstream]))
+        return sorted(counts.items())
+
+    def process_batch_reference(self, task: TaskId, batch_end_time: float,
+                                inputs: Mapping[TaskId, Sequence[KeyedTuple]]
+                                ) -> list[KeyedTuple]:
+        counts: Counter[str] = Counter()
         for upstream in sorted(inputs):
             for key, _value in inputs[upstream]:
                 counts[key] += 1
@@ -44,14 +59,63 @@ class SliceAggregateOperator(OperatorLogic):
 
 
 class MergeAggregateOperator(OperatorLogic):
-    """O2: windowed merge of partial counts; emits per-entry window totals."""
+    """O2: windowed merge of partial counts; emits per-entry window totals.
+
+    The kernel keeps *running* per-entry totals, updated as counts enter and
+    leave the window, instead of re-summing the whole window every batch —
+    O(batch + evicted) per batch rather than O(window).  Integer counts make
+    the increments exact; the first non-int count permanently drops the
+    instance back to the reference recompute so results never drift.
+    """
 
     def __init__(self, window_seconds: float = 60.0):
         self.window = SlidingWindow(window_seconds)
+        #: Running per-entry totals / live-entry counts (the kernel state).
+        self._totals: dict[str, int] = {}
+        self._entries: dict[str, int] = {}
+        self._exact = True
 
     def process_batch(self, task: TaskId, batch_end_time: float,
                       inputs: Mapping[TaskId, Sequence[KeyedTuple]]
                       ) -> list[KeyedTuple]:
+        window = self.window
+        totals, entries = self._totals, self._entries
+        for upstream in sorted(inputs):
+            batch = inputs[upstream]
+            window.extend(batch_end_time, batch)
+            if not self._exact:
+                continue
+            for key, count in batch:
+                if type(count) is not int:
+                    # Fractional counts could drift under add/subtract;
+                    # abandon the incremental state (it is never read
+                    # again) and recompute from the window instead.
+                    self._exact = False
+                    self._totals = {}
+                    self._entries = {}
+                    break
+                totals[key] = totals.get(key, 0) + count
+                entries[key] = entries.get(key, 0) + 1
+        evicted = window.evict_collect(batch_end_time)
+        if not self._exact:
+            recomputed: Counter[str] = Counter()
+            for key, count in window.items():
+                recomputed[key] += count
+            return sorted(recomputed.items())
+        totals, entries = self._totals, self._entries
+        for key, count in evicted:
+            live = entries[key] - 1
+            if live:
+                entries[key] = live
+                totals[key] -= count
+            else:
+                del entries[key]
+                del totals[key]
+        return sorted(totals.items())
+
+    def process_batch_reference(self, task: TaskId, batch_end_time: float,
+                                inputs: Mapping[TaskId, Sequence[KeyedTuple]]
+                                ) -> list[KeyedTuple]:
         for upstream in sorted(inputs):
             for key, count in inputs[upstream]:
                 self.window.add(batch_end_time, (key, count))
@@ -72,6 +136,9 @@ class GlobalTopKOperator(OperatorLogic):
     servers), so the global total of an entry is the sum of the latest
     total reported by each upstream task; an upstream's contribution expires
     when it has not been refreshed within the window.
+
+    The kernel prunes stale contributions in place (no per-key dict
+    rebuilds) and ranks with a size-k heap instead of sorting every entry.
     """
 
     def __init__(self, k: int = 100, window_seconds: float = 60.0):
@@ -85,6 +152,33 @@ class GlobalTopKOperator(OperatorLogic):
     def process_batch(self, task: TaskId, batch_end_time: float,
                       inputs: Mapping[TaskId, Sequence[KeyedTuple]]
                       ) -> list[KeyedTuple]:
+        partials = self._partials
+        for upstream in sorted(inputs):
+            for key, total in inputs[upstream]:
+                slot = partials.get(key)
+                if slot is None:
+                    partials[key] = slot = {}
+                slot[upstream] = (batch_end_time, total)
+        horizon = batch_end_time - self.window_seconds
+        totals: dict[str, int] = {}
+        for key, per_upstream in list(partials.items()):
+            stale = [up for up, (ts, _total) in per_upstream.items()
+                     if ts <= horizon]
+            if stale:
+                if len(stale) == len(per_upstream):
+                    del partials[key]
+                    continue
+                for up in stale:
+                    del per_upstream[up]
+            totals[key] = sum(total for _ts, total in per_upstream.values())
+        ranked = heapq.nsmallest(self.k, totals.items(),
+                                 key=lambda item: (-item[1], item[0]))
+        top = tuple(key for key, _total in ranked)
+        return [(TOPK_RESULT_KEY, top)]
+
+    def process_batch_reference(self, task: TaskId, batch_end_time: float,
+                                inputs: Mapping[TaskId, Sequence[KeyedTuple]]
+                                ) -> list[KeyedTuple]:
         for upstream in sorted(inputs):
             for key, total in inputs[upstream]:
                 self._partials.setdefault(key, {})[upstream] = (

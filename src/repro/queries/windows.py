@@ -3,13 +3,35 @@
 The paper's operators are all sliding-window computations (Sec. VI); this
 module provides the single window structure they share so checkpoint state
 size and eviction semantics are uniform.
+
+The window is stored as *blocks*: each :meth:`extend` call appends one
+``(timestamp, items)`` block sharing the caller's sequence (zero-copy — the
+engine's batch tuples are immutable by contract), and each :meth:`add` call
+appends a single-item block.  Because every block carries one timestamp and
+timestamps arrive in order, insertion is O(1) per batch, eviction pops whole
+blocks, and checkpoint snapshots copy O(blocks) instead of O(tuples) —
+entries are never re-packed per tuple.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from itertools import repeat
-from typing import Any, Iterable, Iterator
+from typing import Any, Hashable, Iterable, Iterator, Sequence
+
+
+def retire_count(counts: dict, key: Hashable) -> None:
+    """Decrement a live-entry count, dropping the key when it reaches zero.
+
+    The companion of :meth:`SlidingWindow.evict_collect` for the
+    incremental operator kernels: per-key counts are incremented as entries
+    join the window and retired through this helper as they leave, so
+    ``counts`` always holds exactly the keys with live entries.
+    """
+    live = counts[key] - 1
+    if live:
+        counts[key] = live
+    else:
+        del counts[key]
 
 
 class SlidingWindow:
@@ -23,16 +45,20 @@ class SlidingWindow:
         if window_seconds <= 0:
             raise ValueError(f"window_seconds must be positive, got {window_seconds}")
         self.window_seconds = window_seconds
-        self._entries: deque[tuple[float, Any]] = deque()
+        #: ``(timestamp, items)`` blocks, oldest first; every item of a block
+        #: shares the block's timestamp.
+        self._blocks: deque[tuple[float, Sequence[Any]]] = deque()
+        self._size = 0
 
     def __deepcopy__(self, memo: dict) -> "SlidingWindow":
         # Checkpoint snapshots deep-copy operator state on the hot path.
-        # Window entries are immutable by contract (see :meth:`add`), so a
-        # fresh deque over the same entry tuples is a correct deep copy and
-        # avoids recursively copying every tuple in the window.
+        # Blocks and their item sequences are immutable by contract (see
+        # :meth:`add`/:meth:`extend`), so a fresh deque over the same block
+        # tuples is a correct deep copy — O(blocks), not O(tuples).
         clone = SlidingWindow.__new__(SlidingWindow)
         clone.window_seconds = self.window_seconds
-        clone._entries = deque(self._entries)
+        clone._blocks = deque(self._blocks)
+        clone._size = self._size
         memo[id(self)] = clone
         return clone
 
@@ -40,38 +66,64 @@ class SlidingWindow:
         """Append an entry (timestamps must arrive in order).
 
         Items must be treated as immutable once added: checkpoint snapshots
-        share entry tuples with the live window (:meth:`__deepcopy__`).
+        share blocks with the live window (:meth:`__deepcopy__`).
         """
-        self._entries.append((timestamp, item))
+        self._blocks.append((timestamp, (item,)))
+        self._size += 1
 
     def extend(self, timestamp: float, items: Iterable[Any]) -> None:
         """Bulk-append ``items`` at one timestamp (the per-batch hot path).
 
-        Equivalent to calling :meth:`add` per item, but the entry tuples are
-        built by ``zip``/``repeat`` in C instead of a Python-level loop.
+        Equivalent to calling :meth:`add` per item, but the whole batch
+        becomes one shared block: lists and tuples are referenced as-is
+        (zero-copy — the caller must not mutate them afterwards), other
+        iterables are materialised once.
         """
-        self._entries.extend(zip(repeat(timestamp), items))
+        if type(items) not in (list, tuple):
+            items = list(items)
+        if items:
+            self._blocks.append((timestamp, items))
+            self._size += len(items)
 
     def evict(self, now: float) -> int:
         """Drop entries with ``timestamp <= now − window_seconds``; return count."""
         horizon = now - self.window_seconds
+        blocks = self._blocks
         dropped = 0
-        while self._entries and self._entries[0][0] <= horizon:
-            self._entries.popleft()
-            dropped += 1
+        while blocks and blocks[0][0] <= horizon:
+            dropped += len(blocks.popleft()[1])
+        self._size -= dropped
         return dropped
+
+    def evict_collect(self, now: float) -> list[Any]:
+        """Like :meth:`evict`, but return the evicted items, oldest first.
+
+        The incremental operator kernels use this to retire per-key running
+        aggregates exactly when their contributing entries leave the window.
+        """
+        horizon = now - self.window_seconds
+        blocks = self._blocks
+        if not blocks or blocks[0][0] > horizon:
+            return []
+        evicted: list[Any] = []
+        while blocks and blocks[0][0] <= horizon:
+            evicted.extend(blocks.popleft()[1])
+        self._size -= len(evicted)
+        return evicted
 
     def items(self) -> Iterator[Any]:
         """The items currently in the window, oldest first."""
-        for _ts, item in self._entries:
-            yield item
+        for _ts, block in self._blocks:
+            yield from block
 
     def timestamped(self) -> Iterator[tuple[float, Any]]:
         """(timestamp, item) pairs currently in the window, oldest first."""
-        return iter(self._entries)
+        for ts, block in self._blocks:
+            for item in block:
+                yield ts, item
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._size
 
     def __bool__(self) -> bool:
-        return bool(self._entries)
+        return self._size > 0

@@ -75,6 +75,11 @@ from repro.scenarios.catalog import (
 )
 from repro.scenarios.failures import FailureWave, as_waves, synthetic_tasks
 from repro.scenarios.grid import expand_grid, run_grid, run_scenarios
+from repro.scenarios.prebuilt import (
+    prebuilt_workload,
+    run_scenario_prebuilt,
+    workload_key,
+)
 from repro.scenarios.registry import FAILURE_MODELS, PLANNERS, WORKLOADS, Registry
 from repro.scenarios.runner import (
     RecoveryOutcome,
@@ -142,12 +147,15 @@ __all__ = [
     "generic_bundle",
     "make_bundle",
     "make_planner",
+    "prebuilt_workload",
     "resolve_backend",
     "resolve_sink",
     "run_grid",
     "run_scenario",
+    "run_scenario_prebuilt",
     "run_scenarios",
     "scenario_digest",
     "sink_for_path",
     "synthetic_tasks",
+    "workload_key",
 ]

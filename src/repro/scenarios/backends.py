@@ -26,7 +26,9 @@ in-flight cells are resubmitted on the fresh pool.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import sys
 import time
 from collections import deque
 from concurrent.futures import (
@@ -121,6 +123,13 @@ def _error_outcome(scenario: Scenario, exc: BaseException,
                      attempts)
 
 
+def _warm_worker(payload: tuple[str, ...]) -> None:
+    """Process-pool initializer: prebuild the grid's workloads once."""
+    from repro.scenarios import prebuilt
+
+    prebuilt.warm_from_payload(payload)
+
+
 class SerialBackend(ExecutionBackend):
     """Run every cell in-process, in input order (the default backend).
 
@@ -177,6 +186,9 @@ class _PoolBackend(ExecutionBackend):
     def _make_executor(self, width: int) -> Executor:
         raise NotImplementedError
 
+    def _prepare(self, scenarios: Sequence[Scenario], runner: Runner) -> None:
+        """Pre-execution hook (the processes backend prebuilds workloads)."""
+
     def _discard_executor(self, executor: Executor) -> None:
         """Tear an executor down without waiting for stuck cells."""
         executor.shutdown(wait=False, cancel_futures=True)
@@ -198,6 +210,7 @@ class _PoolBackend(ExecutionBackend):
         scenarios = list(scenarios)
         if not scenarios:
             return
+        self._prepare(scenarios, runner)
         width = self.max_workers or min(32, (os.cpu_count() or 2))
         width = max(1, min(width, len(scenarios)))
         pending: deque[tuple[int, Scenario, int]] = deque(
@@ -309,7 +322,7 @@ class ThreadBackend(_PoolBackend):
 
 
 class ProcessBackend(_PoolBackend):
-    """Fan cells out over a ``ProcessPoolExecutor``.
+    """Fan cells out over a prebuilt-worker ``ProcessPoolExecutor``.
 
     True parallelism for CPU-bound engine runs.  A worker death (segfault,
     OOM kill, ``os._exit``) breaks the pool: the backend rebuilds it and
@@ -317,12 +330,88 @@ class ProcessBackend(_PoolBackend):
     ``"worker-death"`` :class:`CellError`.  Timeouts kill the stuck pool to
     reclaim its workers.  Runner callables and custom registry entries must
     be importable in worker processes (see :func:`run_scenarios`).
+
+    **Prebuilt workers.**  When the runner resolves workloads through the
+    prebuilt memo (the default — see :mod:`repro.scenarios.prebuilt`), the
+    backend builds each distinct workload's topology, router tables and
+    bundle *once per grid* and ships them to workers instead of rebuilding
+    per cell:
+
+    * ``fork`` (the default where available): the parent builds the
+      artefacts before the pool is created and forked workers inherit them
+      directly — nothing is pickled at all;
+    * ``forkserver``: the prebuilt module is preloaded into the fork
+      server, and each worker receives the distinct workload specs exactly
+      once through the pool initializer (pickle-once);
+    * ``spawn``: like forkserver, without the preload.
+
+    ``start_method`` pins a specific ``multiprocessing`` start method;
+    ``prebuild=False`` restores the bare per-cell pool.
     """
 
     name = "processes"
 
+    def __init__(self, max_workers: int | None = None, *,
+                 start_method: str | None = None, prebuild: bool = True):
+        super().__init__(max_workers)
+        if start_method is not None:
+            methods = multiprocessing.get_all_start_methods()
+            if start_method not in methods:
+                raise ScenarioError(
+                    f"unknown start method {start_method!r}; this platform "
+                    f"supports {methods}"
+                )
+        self.start_method = start_method
+        self.prebuild = prebuild
+        self._warm_payload: tuple[str, ...] | None = None
+
+    def _method(self) -> str | None:
+        if self.start_method is not None:
+            return self.start_method
+        methods = multiprocessing.get_all_start_methods()
+        # fork is only auto-picked where it is actually safe: macOS lists
+        # it but documents it as unreliable (Objective-C runtime aborts in
+        # forked children), so non-Linux platforms get forkserver (the
+        # preload + pickle-once path) or the platform default.
+        if sys.platform.startswith("linux") and "fork" in methods:
+            return "fork"
+        if "forkserver" in methods:
+            return "forkserver"
+        return None
+
+    def _prepare(self, scenarios: Sequence[Scenario], runner: Runner) -> None:
+        """Collect the grid's distinct workloads for worker warmup."""
+        from repro.scenarios import prebuilt
+
+        self._warm_payload = None
+        if not self.prebuild or not getattr(runner, "prebuilt", False):
+            return
+        payload = prebuilt.warm_payload(scenarios)
+        if len(payload) > prebuilt.CACHE_CAPACITY:
+            # More distinct workloads than the memo holds: eager warming
+            # would build everything only to evict most of it before any
+            # cell runs.  Let workers build lazily per cell instead.
+            return
+        self._warm_payload = payload
+        if self._method() == "fork":
+            # Forked workers inherit the parent's memo: build everything
+            # here once and the pool initializer below finds only hits.
+            prebuilt.warm(scenarios)
+
     def _make_executor(self, width: int) -> Executor:
-        return ProcessPoolExecutor(max_workers=width)
+        method = self._method()
+        context = (multiprocessing.get_context(method)
+                   if method is not None else None)
+        if method == "forkserver":
+            # Preload the prebuilt module (and everything it imports) into
+            # the fork server so forked workers share the warm import state.
+            context.set_forkserver_preload(["repro.scenarios.prebuilt"])
+        kwargs: dict[str, Any] = {}
+        if self._warm_payload:
+            kwargs.update(initializer=_warm_worker,
+                          initargs=(self._warm_payload,))
+        return ProcessPoolExecutor(max_workers=width, mp_context=context,
+                                   **kwargs)
 
     def _discard_executor(self, executor: Executor) -> None:
         """Shut down without waiting, force-killing stuck workers."""

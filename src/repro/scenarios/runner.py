@@ -11,6 +11,7 @@ counts).
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
@@ -24,16 +25,43 @@ from repro.core.plans import (
 from repro.engine.config import CostModel, EngineConfig, PassiveStrategy
 from repro.engine.engine import StreamEngine
 from repro.engine.recovery import RECOVERY_SCHEMES
+from repro.engine.routing import Router
 from repro.errors import ScenarioError
 from repro.scenarios import catalog
 from repro.scenarios.failures import FailureWave, as_waves, parse_task_string
 from repro.scenarios.registry import FAILURE_MODELS
-from repro.scenarios.spec import FailureSpec, Scenario, _check_keys
+from repro.scenarios.spec import FailureSpec, Scenario, _check_keys, _jsonify
 from repro.topology.operators import TaskId
 from repro.workloads.bundles import QueryBundle
 
 #: Engine-dict keys that configure the engine constructor, not EngineConfig.
 _ENGINE_EXTRA_KEYS = ("source_replay_window_batches",)
+
+
+class WorkloadCaches:
+    """Cross-run memoization scoped to one workload (grid fast path).
+
+    Grid cells over one workload repeat three pure computations per cell:
+    planning (same planner/budget on the same topology and rates), the
+    OF/IC objective values (same topology/rates/task sets) and source batch
+    generation (pure by the :class:`~repro.engine.logic.SourceFunction`
+    contract).  A :class:`WorkloadCaches` instance — owned per distinct
+    workload by :mod:`repro.scenarios.prebuilt` — memoizes all three, so a
+    sweep pays for each distinct (planner, budget) and each distinct
+    failure set once instead of once per cell.  Everything stored is frozen
+    or append-only, so sharing across cells (and backend threads) cannot
+    change results.
+    """
+
+    __slots__ = ("plans", "objective_values", "source_memos")
+
+    def __init__(self) -> None:
+        #: (planner, params, objective, budget) -> ReplicationPlan
+        self.plans: dict[tuple, ReplicationPlan] = {}
+        #: (kind, objective, frozen task set) -> float
+        self.objective_values: dict[tuple, float] = {}
+        #: TaskId -> shared MemoizedSource (see StreamEngine.source_memos).
+        self.source_memos: dict[TaskId, Any] = {}
 
 
 def _parse_task_ref(value: object, *, key: str) -> TaskId:
@@ -338,11 +366,23 @@ class ScenarioRunner:
     With ``profile=True`` the result carries the engine-throughput profile
     (events/second, simulated-seconds-per-wall-second, peak physical output
     history) in :attr:`ScenarioResult.profile`.
+
+    ``bundle``/``router`` inject prebuilt workload artefacts (see
+    :mod:`repro.scenarios.prebuilt`): the injected bundle must correspond to
+    the scenario's workload spec and the router to the bundle's topology —
+    grid sessions use this to build each distinct topology once instead of
+    once per cell.  Results are identical either way.
     """
 
-    def __init__(self, scenario: Scenario, *, profile: bool = False):
+    def __init__(self, scenario: Scenario, *, profile: bool = False,
+                 bundle: "QueryBundle | None" = None,
+                 router: "Router | None" = None,
+                 caches: "WorkloadCaches | None" = None):
         self.scenario = scenario
         self.profile = profile
+        self._bundle = bundle
+        self._router = router
+        self._caches = caches
 
     # ------------------------------------------------------------------
     # Resolution steps (each usable on its own for inspection/tests)
@@ -353,6 +393,8 @@ class ScenarioRunner:
 
     def bundle(self) -> QueryBundle:
         """Resolve the workload registry entry into a query bundle."""
+        if self._bundle is not None:
+            return self._bundle
         params = dict(self.scenario.workload_params)
         if self.scenario.topology is not None:
             if self.scenario.workload != "custom":
@@ -372,11 +414,49 @@ class ScenarioRunner:
         return 0
 
     def plan(self, bundle: QueryBundle) -> ReplicationPlan:
-        """Run the scenario's planner on the bundle's topology and rates."""
+        """Run the scenario's planner on the bundle's topology and rates.
+
+        With shared :class:`WorkloadCaches`, identical (planner, params,
+        objective, budget) requests reuse the frozen plan — planners are
+        deterministic, so the memo is invisible in results.
+        """
+        caches = self._caches
+        if caches is None:
+            return self._compute_plan(bundle)
+        # The factory object is part of the key (not just the name) so a
+        # re-registered planner never serves plans built by its predecessor.
+        key = (catalog.PLANNERS.get(self.scenario.planner),
+               json.dumps(_jsonify(dict(self.scenario.planner_params)),
+                          sort_keys=True),
+               self.scenario.objective, self.resolve_budget(bundle))
+        plan = caches.plans.get(key)
+        if plan is None:
+            caches.plans[key] = plan = self._compute_plan(bundle)
+        return plan
+
+    def _compute_plan(self, bundle: QueryBundle) -> ReplicationPlan:
         planner = catalog.make_planner(
             self.scenario.planner, self.objective(), **self.scenario.planner_params
         )
         return planner.plan(bundle.topology, bundle.rates, self.resolve_budget(bundle))
+
+    def _objective_value(self, kind: str, bundle: QueryBundle,
+                         tasks: frozenset) -> float:
+        """Memoized OF/IC evaluation (``kind`` is ``"plan"`` or ``"failed"``)."""
+        objective = self.objective()
+        caches = self._caches
+        if caches is not None:
+            key = (kind, self.scenario.objective, tasks)
+            value = caches.objective_values.get(key)
+            if value is not None:
+                return value
+        if kind == "plan":
+            value = objective.plan_value(bundle.topology, bundle.rates, tasks)
+        else:
+            value = objective.metric(bundle.topology, bundle.rates, tasks)
+        if caches is not None:
+            caches.objective_values[key] = value
+        return value
 
     def engine_config(self, bundle: QueryBundle) -> EngineConfig:
         """The engine configuration: scenario overrides on bundle defaults."""
@@ -455,6 +535,10 @@ class ScenarioRunner:
         engine_kwargs: dict[str, Any] = {}
         if replay_window is not None:
             engine_kwargs["source_replay_window_batches"] = int(replay_window)
+        if self._router is not None:
+            engine_kwargs["router"] = self._router
+        if self._caches is not None:
+            engine_kwargs["source_memos"] = self._caches.source_memos
         engine = StreamEngine(bundle.topology, bundle.make_logic(), config,
                               plan=plan, **engine_kwargs)
 
@@ -482,12 +566,10 @@ class ScenarioRunner:
 
         engine.run(scenario.duration)
 
-        objective = self.objective()
-        worst_case = objective.plan_value(bundle.topology, bundle.rates,
-                                          plan.replicated)
+        worst_case = self._objective_value("plan", bundle, plan.replicated)
         failed_unreplicated = frozenset(all_victims) - plan.replicated
-        failure_value = objective.metric(bundle.topology, bundle.rates,
-                                         failed_unreplicated)
+        failure_value = self._objective_value("failed", bundle,
+                                              failed_unreplicated)
 
         metrics = engine.metrics
         return ScenarioResult(

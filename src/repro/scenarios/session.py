@@ -31,7 +31,8 @@ from repro.scenarios.backends import (
     resolve_backend,
 )
 from repro.scenarios.cache import ScenarioCache, scenario_digest
-from repro.scenarios.runner import ScenarioResult, run_scenario
+from repro.scenarios.prebuilt import run_scenario_prebuilt
+from repro.scenarios.runner import ScenarioResult
 from repro.scenarios.sinks import MemorySink, ResultSink, resolve_sink
 from repro.scenarios.spec import Scenario
 
@@ -153,7 +154,12 @@ class GridSession:
         for huge grids where the sink is the only consumer.
     runner:
         The per-scenario runner; must be picklable for the processes
-        backend.  Tests substitute counting/faulty runners here.
+        backend.  The default resolves workloads through the prebuilt memo
+        (:func:`~repro.scenarios.prebuilt.run_scenario_prebuilt`), building
+        each distinct topology/router/bundle once per process instead of
+        once per cell — results are identical to the plain
+        :func:`~repro.scenarios.runner.run_scenario`.  Tests substitute
+        counting/faulty runners here.
     """
 
     def __init__(self, backend: "str | ExecutionBackend | None" = None,
@@ -165,7 +171,7 @@ class GridSession:
                  resume: bool = False,
                  strict: bool = False,
                  collect: bool = True,
-                 runner: Runner = run_scenario):
+                 runner: Runner = run_scenario_prebuilt):
         self.backend = resolve_backend(backend)
         self.sink = resolve_sink(sink)
         self.cache = ScenarioCache(cache) if isinstance(cache, (str, bytes)) \

@@ -34,11 +34,15 @@ from repro.scenarios import (
     TopologyRecipe,
     expand_grid,
     run_grid,
+    prebuilt_workload,
     run_scenario,
+    run_scenario_prebuilt,
     run_scenarios,
     scenario_digest,
     sink_for_path,
+    workload_key,
 )
+from repro.scenarios import prebuilt
 from repro.scenarios.runner import RecoveryOutcome
 from repro.topology import TaskId
 
@@ -251,6 +255,161 @@ class TestBackendSinkMatrix:
         assert isinstance(sink_for_path(tmp_path / "x.sqlite"), SqliteSink)
         with pytest.raises(ScenarioError, match="cannot infer"):
             sink_for_path(tmp_path / "x.csv")
+
+
+# ----------------------------------------------------------------------
+class TestPrebuiltWorkloads:
+    """The prebuilt-worker fast path: one build per distinct workload."""
+
+    def test_prebuilt_runner_matches_plain_runner(self):
+        scenario = tiny_scenario()
+        assert (run_scenario_prebuilt(scenario).to_dict()
+                == run_scenario(scenario).to_dict())
+
+    def test_workload_key_ignores_non_workload_fields(self):
+        base = tiny_scenario()
+        assert workload_key(base) == workload_key(
+            base.with_overrides(budget=0, duration=8.0, failures=[],
+                                name="other"))
+        assert workload_key(base) != workload_key(base.with_overrides(
+            **{"workload_params.source_rate": 21.0}))
+
+    def test_memo_reuses_bundle_and_router_across_cells(self):
+        prebuilt.clear()
+        base = tiny_scenario()
+        bundle_a, router_a, caches_a = prebuilt_workload(base)
+        bundle_b, router_b, caches_b = prebuilt_workload(
+            base.with_overrides(budget=0))
+        assert bundle_a is bundle_b and router_a is router_b
+        assert caches_a is caches_b
+        assert router_a.topology is bundle_a.topology
+        bundle_c, _router_c, _caches_c = prebuilt_workload(
+            base.with_overrides(**{"workload_params.window_seconds": 4.0}))
+        assert bundle_c is not bundle_a
+
+    def test_workload_caches_fill_and_reuse(self):
+        prebuilt.clear()
+        base = tiny_scenario()
+        for budget in (0, 1, 1):  # repeated budget hits the plan memo
+            run_scenario_prebuilt(base.with_overrides(budget=budget))
+        _bundle, _router, caches = prebuilt_workload(base)
+        assert len(caches.plans) == 2
+        assert caches.objective_values  # OF values memoized
+        assert caches.source_memos      # shared source batches
+
+    def test_memo_capacity_is_bounded(self, monkeypatch):
+        prebuilt.clear()
+        monkeypatch.setattr(prebuilt, "CACHE_CAPACITY", 2)
+        base = tiny_scenario()
+        for rate in (30.0, 31.0, 32.0):
+            prebuilt_workload(base.with_overrides(
+                **{"workload_params.source_rate": rate}))
+        assert prebuilt.cache_info()["entries"] == 2
+        prebuilt.clear()
+        assert prebuilt.cache_info()["entries"] == 0
+
+    def test_reregistered_workload_invalidates_the_memo(self):
+        """register(overwrite=True) must not serve bundles of the old factory."""
+        from repro.scenarios import WORKLOADS, make_bundle
+
+        def v1(**params):
+            return make_bundle("custom", recipe=tiny_recipe().to_dict(),
+                               source_rate=10.0)
+
+        def v2(**params):
+            return make_bundle("custom", recipe=tiny_recipe().to_dict(),
+                               source_rate=30.0)
+
+        WORKLOADS.register("prebuilt-test", overwrite=True)(v1)
+        try:
+            scenario = tiny_scenario(workload="prebuilt-test", topology=None,
+                                     workload_params={}, failures=())
+            first = run_scenario_prebuilt(scenario)
+            WORKLOADS.register("prebuilt-test", overwrite=True)(v2)
+            second = run_scenario_prebuilt(scenario)
+            assert second.tuples_processed > first.tuples_processed
+        finally:
+            WORKLOADS.unregister("prebuilt-test")
+            prebuilt.clear()
+
+    def test_warm_payload_covers_distinct_workloads_once(self):
+        grid = tiny_grid()  # six cells, one distinct workload
+        payload = prebuilt.warm_payload(grid)
+        assert len(payload) == 1
+        prebuilt.clear()
+        prebuilt.warm_from_payload(payload)
+        assert prebuilt.cache_info()["entries"] == 1
+        assert prebuilt.warm(grid) == 1  # idempotent: still one workload
+
+    @pytest.mark.parametrize("start_method", ["fork", "forkserver"])
+    def test_prebuilt_pool_matches_serial(self, start_method):
+        import multiprocessing
+
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{start_method} unavailable on this platform")
+        grid = tiny_grid()
+        baseline = [r.to_dict() for r in run_scenarios(grid, backend="serial")]
+        backend = ProcessBackend(max_workers=2, start_method=start_method)
+        results = run_scenarios(grid, backend=backend)
+        assert [r.to_dict() for r in results] == baseline
+
+    def test_prebuild_false_still_matches_serial(self):
+        grid = tiny_grid()[:3]
+        baseline = [r.to_dict() for r in run_scenarios(grid, backend="serial")]
+        backend = ProcessBackend(max_workers=2, prebuild=False)
+        assert [r.to_dict()
+                for r in run_scenarios(grid, backend=backend)] == baseline
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(ScenarioError, match="start method"):
+            ProcessBackend(start_method="teleport")
+
+
+# ----------------------------------------------------------------------
+class TestProfileSinkRoundTrip:
+    """ScenarioResult.profile persists and reloads losslessly (JSONL/SQLite)."""
+
+    @pytest.fixture(scope="class")
+    def profiled(self):
+        return run_scenario(tiny_scenario(duration=8.0, failures=()),
+                            profile=True)
+
+    @pytest.mark.parametrize("sink_cls", [JsonlSink, SqliteSink],
+                             ids=["jsonl", "sqlite"])
+    def test_profile_round_trips_through_file_sinks(self, sink_cls, tmp_path,
+                                                    profiled):
+        assert profiled.profile  # the fixture really carried a profile
+        path = tmp_path / f"profiled.{sink_cls.name}"
+        digest = scenario_digest(profiled.scenario)
+        with sink_cls(path) as sink:
+            sink.write(0, digest, profiled)
+        [reloaded] = sink_cls.load(path)
+        assert isinstance(reloaded, ScenarioResult)
+        assert reloaded.profile == profiled.profile
+        assert reloaded == profiled
+        assert reloaded.to_dict() == profiled.to_dict()
+
+    @pytest.mark.parametrize("sink_cls", [JsonlSink, SqliteSink],
+                             ids=["jsonl", "sqlite"])
+    def test_unprofiled_rows_reload_without_profile(self, sink_cls, tmp_path):
+        result = run_scenario(tiny_scenario(duration=8.0, failures=()))
+        path = tmp_path / f"plain.{sink_cls.name}"
+        with sink_cls(path) as sink:
+            sink.write(0, scenario_digest(result.scenario), result)
+        [reloaded] = sink_cls.load(path)
+        assert reloaded.profile is None
+        assert reloaded == result
+
+    def test_profile_survives_a_resumed_grid_session(self, tmp_path, profiled):
+        """A profiled row persisted earlier is reported back on resume."""
+        scenario = profiled.scenario
+        path = tmp_path / "resume.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(0, scenario_digest(scenario), profiled)
+        report = GridSession(sink=JsonlSink(path), resume=True).run([scenario])
+        assert report.resumed == 1 and report.executed == 0
+        [outcome] = report.outcomes
+        assert outcome.profile == profiled.profile
 
 
 # ----------------------------------------------------------------------
