@@ -49,3 +49,7 @@ class ExperimentError(ReproError):
 class ScenarioError(ReproError):
     """A declarative scenario is malformed or references unknown registry names."""
 
+
+class ServiceError(ReproError):
+    """The sweep service protocol was violated or a peer went away."""
+

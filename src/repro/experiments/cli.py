@@ -12,6 +12,10 @@ Usage::
         --output results.jsonl --cache-dir ~/.cache/repro-grid --resume
     python -m repro.experiments cache stats ~/.cache/repro-grid
     python -m repro.experiments cache prune ~/.cache/repro-grid --max-entries 5000
+    python -m repro.experiments serve --port 7070 --backend processes \
+        --cache-dir ~/.cache/repro-grid --journal ~/.cache/repro-journal.jsonl
+    python -m repro.experiments submit 127.0.0.1:7070 my_grid.json --progress
+    python -m repro.experiments status 127.0.0.1:7070
 
 (Installed as the ``repro-experiments`` console script as well.)
 
@@ -30,6 +34,11 @@ file already holds, so interrupted sweeps pick up where they stopped.
 ``--recovery`` selects the fault-tolerance scheme (several names turn it
 into a grid axis), and ``cache stats|prune`` inspects or LRU-trims a cache
 directory.
+
+``serve`` boots the persistent sweep service (see :mod:`repro.service`):
+many clients ``submit`` grids concurrently over TCP, identical cells are
+deduplicated by content digest across clients, and ``status`` reports the
+per-client and aggregate counters.
 """
 
 from __future__ import annotations
@@ -334,7 +343,8 @@ def _grid_main(argv: Sequence[str]) -> int:
         print(_grid_rows(results))
     summary = (f"[grid] {report.total} cells: {report.executed} executed, "
                f"{report.cache_hits} cache hits, {report.deduped} deduped, "
-               f"{report.resumed} resumed, {report.errors} errors")
+               f"{report.resumed} resumed, {report.errors} errors, "
+               f"{report.retries} retries")
     if args.output:
         summary += f" -> {args.output}"
     print(summary, file=sys.stderr)
@@ -381,6 +391,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _grid_main(argv[1:])
         if argv and argv[0] == "cache":
             return _cache_main(argv[1:])
+        if argv and argv[0] in ("serve", "submit", "status"):
+            # Imported lazily: figure runs should not pay for (or be able
+            # to break on) the service stack.
+            from repro.service import cli as service_cli
+
+            handler = {"serve": service_cli.serve_main,
+                       "submit": service_cli.submit_main,
+                       "status": service_cli.status_main}[argv[0]]
+            return handler(argv[1:])
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -388,14 +407,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the figures of the PPA paper (ICDE 2016), "
-                    "or run declarative scenarios ('scenario'/'grid'/'cache' "
-                    "subcommands).",
+                    "run declarative scenarios ('scenario'/'grid'/'cache' "
+                    "subcommands), or run the sweep service "
+                    "('serve'/'submit'/'status').",
     )
     parser.add_argument("figures", nargs="+",
                         choices=sorted(RUNNERS) + ["all"],
                         metavar="figure",
                         help="figures to regenerate (%(choices)s), or the "
-                             "'scenario'/'grid'/'cache' subcommands",
+                             "'scenario'/'grid'/'cache'/'serve'/'submit'/"
+                             "'status' subcommands",
     )
     parser.add_argument("--fast", action="store_true",
                         help="reduced grids/durations for a quick pass")

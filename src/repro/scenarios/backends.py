@@ -1,13 +1,16 @@
 """Pluggable execution backends for grid runs.
 
 An :class:`ExecutionBackend` takes a list of scenarios plus a runner
-callable and yields ``(index, outcome)`` pairs, where an outcome is either a
-:class:`~repro.scenarios.runner.ScenarioResult` or a structured
-:class:`CellError` — per-cell failures never crash the whole grid.  Pairs
-may arrive in any order (parallel backends yield in completion order, like
-``as_completed``); :class:`~repro.scenarios.session.GridSession` reorders
-them before results reach a sink, so every backend produces byte-identical
-output.
+callable and yields ``(index, outcome, attempts)`` triples, where an outcome
+is either a :class:`~repro.scenarios.runner.ScenarioResult` or a structured
+:class:`CellError` — per-cell failures never crash the whole grid — and
+``attempts`` counts how many times the cell was started (>1 when a dead
+worker forced a retry).  Triples may arrive in any order (parallel backends
+yield in completion order, like ``as_completed``);
+:class:`~repro.scenarios.session.GridSession` reorders them before results
+reach a sink, so every backend produces byte-identical output.  Legacy
+external backends that yield bare ``(index, outcome)`` pairs are still
+accepted by the session, which then falls back to ``CellError.attempts``.
 
 Backends are registry-backed like planners and workloads
 (:data:`EXECUTION_BACKENDS`): ``"serial"`` runs in-process, ``"threads"``
@@ -109,8 +112,8 @@ class ExecutionBackend:
 
     def execute(self, scenarios: Sequence[Scenario], runner: Runner, *,
                 timeout: float | None = None,
-                retries: int = 1) -> Iterator[tuple[int, object]]:
-        """Yield ``(index, ScenarioResult | CellError)`` pairs, any order."""
+                retries: int = 1) -> Iterator[tuple]:
+        """Yield ``(index, ScenarioResult | CellError, attempts)``, any order."""
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -142,23 +145,23 @@ class SerialBackend(ExecutionBackend):
 
     def execute(self, scenarios: Sequence[Scenario], runner: Runner, *,
                 timeout: float | None = None,
-                retries: int = 1) -> Iterator[tuple[int, object]]:
+                retries: int = 1) -> Iterator[tuple[int, object, int]]:
         """Yield outcomes one by one, in input order."""
         for index, scenario in enumerate(scenarios):
             started = time.monotonic()
             try:
                 result = runner(scenario)
             except Exception as exc:
-                yield index, _error_outcome(scenario, exc, 1)
+                yield index, _error_outcome(scenario, exc, 1), 1
                 continue
             elapsed = time.monotonic() - started
             if timeout is not None and elapsed > timeout:
                 yield index, CellError(
                     scenario, "timeout",
                     f"cell took {elapsed:.2f}s, exceeding the {timeout:g}s "
-                    f"timeout (serial backend cannot preempt)", 1)
+                    f"timeout (serial backend cannot preempt)", 1), 1
             else:
-                yield index, result
+                yield index, result, 1
 
 
 class _PoolBackend(ExecutionBackend):
@@ -205,7 +208,7 @@ class _PoolBackend(ExecutionBackend):
     # -------------------------------------------------------------------
     def execute(self, scenarios: Sequence[Scenario], runner: Runner, *,
                 timeout: float | None = None,
-                retries: int = 1) -> Iterator[tuple[int, object]]:
+                retries: int = 1) -> Iterator[tuple[int, object, int]]:
         """Yield outcomes in completion order over a worker pool."""
         scenarios = list(scenarios)
         if not scenarios:
@@ -245,7 +248,7 @@ class _PoolBackend(ExecutionBackend):
                 for future in done:
                     index, scenario, attempt, _deadline = in_flight.pop(future)
                     try:
-                        yield index, future.result()
+                        yield index, future.result(), attempt
                     except BrokenExecutor as exc:
                         broke = True
                         if attempt <= retries:
@@ -254,9 +257,11 @@ class _PoolBackend(ExecutionBackend):
                             yield index, CellError(
                                 scenario, "worker-death",
                                 f"worker died running this cell "
-                                f"({type(exc).__name__}: {exc})", attempt)
+                                f"({type(exc).__name__}: {exc})",
+                                attempt), attempt
                     except Exception as exc:
-                        yield index, _error_outcome(scenario, exc, attempt)
+                        yield index, _error_outcome(scenario, exc,
+                                                    attempt), attempt
                 if broke:
                     # A dead worker poisons every in-flight future of the
                     # pool; resubmit them (their attempt counts too — the
@@ -269,7 +274,7 @@ class _PoolBackend(ExecutionBackend):
                             yield index, CellError(
                                 scenario, "worker-death",
                                 "worker pool died (retry budget exhausted)",
-                                attempt)
+                                attempt), attempt
                     in_flight.clear()
                     self._discard_executor(executor)
                     executor = self._make_executor(width)
@@ -285,7 +290,8 @@ class _PoolBackend(ExecutionBackend):
                     future.cancel()
                     yield index, CellError(
                         scenario, "timeout",
-                        f"cell exceeded the {timeout:g}s timeout", attempt)
+                        f"cell exceeded the {timeout:g}s timeout",
+                        attempt), attempt
                 if expired and self._rebuild_on_timeout:
                     # Reclaim the stuck workers; in-flight siblings were not
                     # at fault, so they are resubmitted without charge.

@@ -59,6 +59,12 @@ class CacheStats:
         return "\n".join(lines)
 
 
+#: How old an orphaned ``*.tmp`` file must be before pruning removes it.
+#: Generous relative to any single write so an in-progress writer's temp
+#: file is never swept out from underneath it.
+_TMP_GRACE_SECONDS = 300.0
+
+
 def scenario_digest(scenario: Scenario) -> str:
     """The canonical SHA-256 hex digest of ``scenario``.
 
@@ -83,6 +89,15 @@ class ScenarioCache:
 
     Entries are written atomically (temp file + rename), so concurrent grid
     runs sharing one cache directory never observe half-written documents.
+    The cache is safe to hammer from many processes at once without any
+    locking — the sweep service points every client's cells at one
+    directory: readers only ever see complete documents (rename is atomic
+    on POSIX), concurrent :meth:`put` calls for one digest are idempotent
+    last-writer-wins races between identical payloads, and :meth:`prune` /
+    :meth:`clear` tolerate entries vanishing underneath them.  Temp files
+    orphaned by a crashed writer are swept up by the next :meth:`prune` or
+    :meth:`clear` once they are clearly abandoned (older than
+    :data:`_TMP_GRACE_SECONDS`).
     Invalidation is by construction: any change to the scenario — planner,
     budget, engine overrides, failure schedule, seed — changes the digest,
     so stale entries are simply never looked up again.  Delete the directory
@@ -154,7 +169,13 @@ class ScenarioCache:
         """Store ``result`` under ``digest`` (atomic replace), then prune."""
         payload = json.dumps(result.to_dict(), sort_keys=True)
         path = self.path_for(digest)
-        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        except FileNotFoundError:
+            # The directory was deleted underneath us (e.g. a test tearing
+            # down a shared dir mid-run); recreate and retry once.
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(payload)
@@ -189,17 +210,36 @@ class ScenarioCache:
         entries.sort(key=lambda pair: (pair[0], pair[1].name))
         return entries
 
+    def _sweep_orphaned_tmp(self) -> None:
+        """Remove temp files abandoned by crashed writers.
+
+        Only files older than :data:`_TMP_GRACE_SECONDS` go — a live
+        writer's temp file is at most one ``put()`` old.  Races with the
+        writer's own cleanup (or another pruner) are benign: whoever loses
+        the unlink just moves on.
+        """
+        cutoff = time.time() - _TMP_GRACE_SECONDS
+        for path in self.directory.glob("*.tmp"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+            except OSError:  # pragma: no cover - racing writer/pruner
+                pass
+
     def prune(self, max_entries: int | None = None) -> int:
         """Evict least-recently-used entries beyond ``max_entries``.
 
         Defaults to the cache's configured limit; returns how many entries
-        were removed (0 when unlimited or already within bounds).
+        were removed (0 when unlimited or already within bounds).  Safe to
+        run concurrently with readers, writers and other pruners: it never
+        holds a lock, and entries vanishing mid-scan are skipped.
         """
         limit = self.max_entries if max_entries is None else max_entries
         if limit is None:
             return 0
         if limit < 1:
             raise ScenarioError(f"max_entries must be >= 1, got {limit}")
+        self._sweep_orphaned_tmp()
         entries = self._entries_by_age()
         removed = 0
         for _mtime, path in entries[:max(0, len(entries) - limit)]:
@@ -238,6 +278,7 @@ class ScenarioCache:
     def clear(self) -> int:
         """Delete every cached entry; returns how many were removed."""
         removed = 0
+        self._sweep_orphaned_tmp()
         for path in self.directory.glob("*.json"):
             try:
                 path.unlink()

@@ -46,6 +46,9 @@ class ProgressEvent:
     ``"deduped"`` (an identical cell already ran in this grid) or
     ``"resumed"`` (already persisted in the sink).  Events fire in
     completion order, which for parallel backends is not input order.
+    ``retries`` counts the extra attempts the executing backend needed
+    (>0 only when a dead worker forced the cell to restart); duplicates
+    of one executed representative all report its retry count.
     """
 
     done: int
@@ -54,6 +57,7 @@ class ProgressEvent:
     scenario: Scenario
     outcome: object
     source: str
+    retries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -64,7 +68,9 @@ class ProgressEvent:
         """One-line progress summary (what ``--progress`` prints)."""
         label = self.scenario.name or self.scenario.workload
         state = "ok" if self.ok else f"FAILED({self.outcome.kind})"
-        return f"[{self.done}/{self.total}] {label}: {state} ({self.source})"
+        note = f", {self.retries} retries" if self.retries else ""
+        return (f"[{self.done}/{self.total}] {label}: {state} "
+                f"({self.source}{note})")
 
 
 @dataclass
@@ -74,9 +80,12 @@ class GridReport:
     ``executed + cache_hits + deduped + resumed == total``; ``errors``
     counts the *cells* whose outcome is a :class:`CellError` — a failed
     representative counts once per duplicate it was fanned out to, so
-    ``errors`` can exceed ``executed`` but never ``total``.  ``outcomes``
-    lines up with the input scenarios, or is ``None`` when the session was
-    created with ``collect=False``.
+    ``errors`` can exceed ``executed`` but never ``total``.  ``retries``
+    counts extra execution attempts across the whole grid (one per worker
+    death that forced a cell restart, charged once per distinct executed
+    cell, not per duplicate).  ``outcomes`` lines up with the input
+    scenarios, or is ``None`` when the session was created with
+    ``collect=False``.
     """
 
     total: int
@@ -86,6 +95,7 @@ class GridReport:
     resumed: int
     errors: int
     outcomes: list[object] | None
+    retries: int = 0
 
     def results(self) -> list[ScenarioResult]:
         """The successful results, in input order (requires ``collect``)."""
@@ -205,6 +215,7 @@ class GridSession:
         done = 0
         next_flush = 0
         errors = 0
+        retries = 0
         first_error: CellError | None = None
 
         persisted: Mapping[str, object] = {}
@@ -245,9 +256,18 @@ class GridSession:
             # order is backend-dependent, input order is restored on write.
             representatives = sorted(slots[0] for slots in pending.values())
             to_run = [scenarios[i] for i in representatives]
-            for position, outcome in self.backend.execute(
+            for item in self.backend.execute(
                     to_run, self.runner,
                     timeout=self.timeout, retries=self.retries):
+                if len(item) == 3:
+                    position, outcome, attempts = item
+                else:
+                    # Legacy external backend yielding bare (index, outcome)
+                    # pairs: the only attempt record is on the error itself.
+                    position, outcome = item
+                    attempts = getattr(outcome, "attempts", 1)
+                cell_retries = max(0, attempts - 1)
+                retries += cell_retries
                 rep_index = representatives[position]
                 digest = digests[rep_index]
                 if isinstance(outcome, ScenarioResult) and self.cache is not None:
@@ -266,7 +286,8 @@ class GridSession:
                     sources[index] = sources[index] or "executed"
                     done += 1
                     self._announce(done, total, index, scenarios[index],
-                                   cell_outcome, sources[index])
+                                   cell_outcome, sources[index],
+                                   retries=cell_retries)
                 next_flush = self._flush(outcomes, sources, digests, next_flush)
 
             if next_flush != total:  # pragma: no cover - backend bug guard
@@ -286,6 +307,7 @@ class GridSession:
             resumed=sum(1 for s in sources if s == "resumed"),
             errors=errors,
             outcomes=list(outcomes) if self.collect else None,
+            retries=retries,
         )
         if self.strict and first_error is not None:
             name = first_error.scenario.name or first_error.scenario.workload
@@ -297,10 +319,10 @@ class GridSession:
 
     # ------------------------------------------------------------------
     def _announce(self, done: int, total: int, index: int, scenario: Scenario,
-                  outcome: object, source: str) -> None:
+                  outcome: object, source: str, *, retries: int = 0) -> None:
         if self.progress is not None:
             self.progress(ProgressEvent(done, total, index, scenario,
-                                        outcome, source))
+                                        outcome, source, retries))
 
     def _flush(self, outcomes: list, sources: Sequence[str],
                digests: Sequence[str], next_flush: int) -> int:

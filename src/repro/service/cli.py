@@ -1,0 +1,239 @@
+"""CLI subcommands for the sweep service: ``serve`` / ``submit`` / ``status``.
+
+Routed from ``python -m repro.experiments`` (and the ``repro-experiments``
+console script)::
+
+    repro-experiments serve --port 7070 --backend processes \
+        --cache-dir ~/.cache/repro-grid --journal ~/.cache/repro-journal.jsonl
+    repro-experiments submit 127.0.0.1:7070 my_grid.json --progress
+    repro-experiments status 127.0.0.1:7070
+
+``serve`` runs until SIGTERM/SIGINT, then drains gracefully: in-flight
+cells finish, queued cells persist to the journal (resumed on the next
+``serve`` with the same ``--journal``), and connected clients are told the
+server is ``draining``.  ``submit`` speaks the same grid JSON documents as
+the ``grid`` subcommand, so a sweep moves from one-shot to service with no
+file changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ScenarioError, ServiceError
+from repro.scenarios import EXECUTION_BACKENDS, Scenario, ScenarioResult
+from repro.service.client import SweepClient
+from repro.service.server import SweepServer
+
+
+def _build_backend(name: str, max_workers: int | None):
+    factory = EXECUTION_BACKENDS.get(name)
+    if max_workers is None:
+        return factory()
+    try:
+        return factory(max_workers=max_workers)
+    except TypeError:
+        raise ScenarioError(
+            f"backend {name!r} does not take --max-workers"
+        ) from None
+
+
+def serve_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description="Run the persistent sweep broker: accept grid "
+                    "submissions from many clients over TCP, dedup by "
+                    "scenario digest, schedule fairly, stream results.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (default: 0 = OS-assigned; the bound "
+                             "port is printed and written to --port-file)")
+    parser.add_argument("--backend", default="serial",
+                        choices=sorted(EXECUTION_BACKENDS.names()),
+                        help="shared execution backend (default: serial)")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="pool width for the threads/processes backends")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="shared content-addressed scenario cache; "
+                             "strongly recommended — it powers cross-client "
+                             "and cross-restart dedup")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="resumable submission journal; queued cells "
+                             "survive a drain and re-run on the next serve")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-scenario wall-clock budget in seconds")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="retries per cell after a worker death "
+                             "(processes backend; default 1)")
+    parser.add_argument("--batch-cells", type=int, default=8,
+                        help="cells per dispatcher batch (smaller = fairer "
+                             "interleaving and faster drain; default 8)")
+    parser.add_argument("--port-file", default=None, metavar="PATH",
+                        help="write 'host port' here once bound (for "
+                             "scripts that need the OS-assigned port)")
+    args = parser.parse_args(argv)
+
+    server = SweepServer(args.host, args.port,
+                         backend=_build_backend(args.backend,
+                                                args.max_workers),
+                         cache=args.cache_dir, journal=args.journal,
+                         timeout=args.timeout, retries=args.retries,
+                         batch_cells=args.batch_cells)
+    server.start()
+    host, port = server.address
+    if args.port_file:
+        Path(args.port_file).write_text(f"{host} {port}\n")
+    print(f"sweep server listening on {host}:{port} "
+          f"(backend={args.backend}, cache={args.cache_dir or 'none'}, "
+          f"journal={args.journal or 'none'})", flush=True)
+    if server.resumed:
+        print(f"resumed {server.resumed} journaled cells", flush=True)
+
+    def _drain(signum, frame):  # noqa: ANN001 - signal handler
+        print(f"signal {signum}: draining (in-flight cells finish, queued "
+              f"cells persist to the journal)", file=sys.stderr, flush=True)
+        server.drain()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    server.serve_forever()
+    status = server.broker.status()
+    totals = status["totals"]
+    print(f"drained: {totals['executed']} executed, "
+          f"{totals['cache_hits']} cache hits, {totals['deduped']} deduped, "
+          f"{totals['retried']} retries, {status['queued']} journaled",
+          flush=True)
+    return 0
+
+
+def _load_grid(path: str) -> dict:
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ScenarioError(f"cannot read {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"{path!r} is not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise ScenarioError("a grid JSON document must be an object")
+    return data
+
+
+def submit_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments submit",
+        description="Submit a grid JSON document (same format as the "
+                    "'grid' subcommand) to a running sweep server and "
+                    "stream the results back.",
+    )
+    parser.add_argument("address", help="server address, host:port")
+    parser.add_argument("file", help='path to {"base": ..., "axes": ...} or '
+                                     '{"scenarios": [...]} JSON')
+    parser.add_argument("--client", default=None, metavar="NAME",
+                        help="client id for the server's accounting "
+                             "(default: derived from the grid file name)")
+    parser.add_argument("--job", default=None, metavar="NAME",
+                        help="job label echoed back in events")
+    parser.add_argument("--no-results", action="store_true",
+                        help="stream progress only; read outcomes from the "
+                             "server's shared cache/sink instead")
+    parser.add_argument("--progress", action="store_true",
+                        help="print one progress line per completed cell "
+                             "to stderr")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print every outcome as a JSON array")
+    args = parser.parse_args(argv)
+
+    data = _load_grid(args.file)
+    client_id = args.client or Path(args.file).stem
+    with SweepClient(args.address, client_id=client_id) as client:
+        message_scenarios = None
+        base = axes = None
+        if "scenarios" in data:
+            message_scenarios = [Scenario.from_dict(s)
+                                 for s in data["scenarios"]]
+        elif "base" in data:
+            base = Scenario.from_dict(data["base"])
+            axes = data.get("axes") or None
+        else:
+            raise ScenarioError(
+                "a grid JSON document needs either 'scenarios' or "
+                "'base' (+ 'axes')"
+            )
+
+        progress = None
+        if args.progress:
+            def progress(event):  # noqa: ANN001 - progress message dict
+                state = "ok" if event.get("ok") else "FAILED"
+                note = (f", {event['retries']} retries"
+                        if event.get("retries") else "")
+                print(f"[{event['done']}/{event['total']}] "
+                      f"{event.get('label')}: {state} "
+                      f"({event.get('source')}{note})", file=sys.stderr)
+
+        try:
+            job = client.submit(message_scenarios, base=base, axes=axes,
+                                job=args.job,
+                                results=not args.no_results)
+            outcome = client.wait(job, progress=progress)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
+
+        if args.as_json:
+            rows = []
+            for cell in outcome.outcomes:
+                if isinstance(cell, ScenarioResult):
+                    rows.append(cell.to_dict())
+                elif cell is None:
+                    rows.append(None)
+                else:
+                    rows.append({"error": cell.to_dict()})
+            print(json.dumps(rows, indent=2))
+        tally = outcome.tally
+        print(f"[{job}] {tally.get('total')} cells: "
+              f"{tally.get('executed')} executed, "
+              f"{tally.get('cache_hits')} cache hits, "
+              f"{tally.get('deduped')} deduped, "
+              f"{tally.get('errors')} errors, "
+              f"{tally.get('retries')} retries", file=sys.stderr)
+        return 1 if tally.get("errors") else 0
+
+
+def status_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments status",
+        description="Print a running sweep server's counters and queues.",
+    )
+    parser.add_argument("address", help="server address, host:port")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the raw status document")
+    args = parser.parse_args(argv)
+
+    with SweepClient(args.address, client_id="status") as client:
+        status = client.status()
+    if args.as_json:
+        print(json.dumps({k: v for k, v in status.items() if k != "type"},
+                         indent=2, sort_keys=True))
+        return 0
+    totals = status["totals"]
+    print(f"queued {status['queued']}, inflight {status['inflight']}, "
+          f"active jobs {status['active_jobs']}"
+          + (", draining" if status.get("draining") else ""))
+    print(f"totals: {totals['submitted']} submitted, "
+          f"{totals['executed']} executed, {totals['cache_hits']} cache hits, "
+          f"{totals['deduped']} deduped, {totals['failed']} failed, "
+          f"{totals['retried']} retried, {totals['resumed']} resumed")
+    for name, counters in status.get("clients", {}).items():
+        print(f"  {name}: {counters['submitted']} submitted, "
+              f"{counters['executed']} executed, "
+              f"{counters['cache_hits']} cache hits, "
+              f"{counters['deduped']} deduped, {counters['failed']} failed, "
+              f"{counters['retried']} retried, "
+              f"{counters['resumed']} resumed")
+    return 0

@@ -794,3 +794,115 @@ class TestCacheEviction:
         again = run_scenarios(scenarios, cache=cache)
         assert [r.to_dict() for r in again] == [r.to_dict() for r in first]
         assert cache.hits >= 3
+
+
+# ----------------------------------------------------------------------
+class TestRetriesSurfacing:
+    """Worker-death retries flow through events and the report."""
+
+    def test_worker_death_retry_counts_in_report_and_events(self):
+        events = []
+        cells = [tiny_scenario(name="ok-cell", seed=1),
+                 tiny_scenario(name="marked", seed=MARKED_SEED)]
+        report = GridSession(ProcessBackend(max_workers=1), retries=1,
+                             runner=killer_runner,
+                             progress=events.append).run(cells)
+        assert report.retries == 1  # one restart before giving up
+        by_name = {e.scenario.name: e for e in events}
+        assert by_name["marked"].retries == 1
+        assert not by_name["marked"].ok
+        assert by_name["ok-cell"].retries == 0
+        assert "1 retries" in by_name["marked"].render()
+        assert "retries" not in by_name["ok-cell"].render()
+
+    def test_duplicates_report_the_representative_retry_count(self):
+        events = []
+        cells = [tiny_scenario(name="twin-a", seed=MARKED_SEED),
+                 tiny_scenario(name="twin-b", seed=MARKED_SEED)]
+        report = GridSession(ProcessBackend(max_workers=1), retries=1,
+                             runner=killer_runner,
+                             progress=events.append).run(cells)
+        # Charged once in the report, surfaced on every duplicate's event.
+        assert report.retries == 1
+        assert report.deduped == 1 and report.executed == 1
+        assert [e.retries for e in events] == [1, 1]
+
+    def test_clean_run_reports_zero_retries(self):
+        report = GridSession().run([tiny_scenario()])
+        assert report.retries == 0
+
+
+# ----------------------------------------------------------------------
+class TestCacheConcurrency:
+    """The shared cache under concurrent readers, writers and pruners."""
+
+    def test_concurrent_put_get_prune_never_corrupts(self, tmp_path):
+        import threading
+
+        cache = ScenarioCache(tmp_path)
+        result = run_scenario(tiny_scenario(duration=8.0))
+        digests = [scenario_digest(tiny_scenario(seed=i)) for i in range(24)]
+        failures = []
+
+        def writer(offset):
+            try:
+                for turn in range(3):
+                    for digest in digests[offset:] + digests[:offset]:
+                        cache.put(digest, result)
+            except Exception as exc:  # pragma: no cover - the assertion
+                failures.append(exc)
+
+        def reader():
+            try:
+                for _turn in range(60):
+                    for digest in digests:
+                        hit = cache.get(digest)
+                        assert hit is None or isinstance(hit, ScenarioResult)
+            except Exception as exc:  # pragma: no cover - the assertion
+                failures.append(exc)
+
+        def pruner():
+            try:
+                for _turn in range(20):
+                    cache.prune(8)
+            except Exception as exc:  # pragma: no cover - the assertion
+                failures.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i * 6,))
+                   for i in range(3)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        threads.append(threading.Thread(target=pruner))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+            assert not thread.is_alive()
+        assert failures == []
+        # Whatever survived on disk is a complete, parseable document.
+        for path in tmp_path.glob("*.json"):
+            ScenarioResult.from_dict(json.loads(path.read_text()))
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_prune_sweeps_abandoned_tmp_but_spares_fresh_ones(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        stale = tmp_path / "dead-writer.tmp"
+        stale.write_text("half a docum")
+        os.utime(stale, (1_000_000, 1_000_000))
+        fresh = tmp_path / "live-writer.tmp"
+        fresh.write_text("still being writt")
+        assert cache.prune(1) == 0
+        assert not stale.exists()       # abandoned: swept
+        assert fresh.exists()           # younger than the grace period
+        assert cache.clear() == 0       # clear() sweeps too, spares fresh
+        assert fresh.exists()
+
+    def test_put_recreates_a_deleted_directory(self, tmp_path):
+        import shutil
+
+        cache = ScenarioCache(tmp_path / "cache")
+        result = run_scenario(tiny_scenario(duration=8.0))
+        digest = scenario_digest(tiny_scenario())
+        shutil.rmtree(tmp_path / "cache")
+        cache.put(digest, result)
+        assert digest in cache
+        assert cache.get(digest) is not None
