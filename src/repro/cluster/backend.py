@@ -1,0 +1,239 @@
+"""``ClusterBackend``: the fabric as a drop-in grid execution backend.
+
+Registered as ``"cluster"`` in
+:data:`~repro.scenarios.backends.EXECUTION_BACKENDS`, so
+``run_grid(..., backend="cluster")``, ``grid --backend cluster`` and
+``serve --backend cluster`` all reach it by name.  It honors the
+``(index, outcome, attempts)`` triple contract exactly like the pool
+backends — :class:`~repro.scenarios.session.GridSession`'s reorder
+buffer then makes cluster output digest-identical to a serial run.
+
+Lifecycle: the coordinator and worker fleet start lazily on the first
+:meth:`execute` and persist across grids (the sweep service dispatcher
+calls ``execute`` once per batch — workers must not be respawned per
+batch).  ``close()`` (also registered ``atexit``) shuts workers down and
+releases the port; the backend is restartable after a close.
+
+Topology knobs:
+
+* ``local_workers`` — size of the auto-spawned loopback fleet.  The
+  default (``None``) picks ``min(4, cpu_count)`` local workers when no
+  ssh hosts are given, and 0 when they are; ``local_workers=0`` with no
+  ssh hosts means *externally launched workers only* (start them with
+  ``repro-experiments worker --connect HOST:PORT``).
+* ``ssh_hosts`` / ``ssh_cmd`` — remote bootstrap, see
+  :class:`~repro.cluster.fleet.SshFleet`.
+* ``lease_timeout`` — per-cell lease deadline when ``execute`` gets no
+  ``timeout``; hung-but-heartbeating workers forfeit the cell when it
+  expires.
+* ``heartbeat_timeout`` — how long a silent worker survives (its socket
+  EOF usually wins the race; heartbeats catch half-open connections).
+
+Failure semantics match the processes backend: every lease charges the
+cell an attempt, worker death requeues while ``retries`` allows and then
+reports a ``"worker-death"`` :class:`~repro.scenarios.backends.CellError`
+whose attempt count surfaces as ``GridReport.retries``.  A cluster with
+*zero* reachable workers fails loudly (:class:`ClusterError`) after
+``startup_timeout`` rather than hanging a grid forever.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import time
+from typing import Iterator, Sequence
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.fleet import LocalFleet, SshFleet, WorkerFleet
+from repro.cluster.protocol import runner_to_wire
+from repro.errors import ClusterError
+from repro.scenarios.backends import ExecutionBackend, Runner
+from repro.scenarios.spec import Scenario
+
+
+def _default_local_workers() -> int:
+    import os
+
+    return max(1, min(4, os.cpu_count() or 2))
+
+
+class ClusterBackend(ExecutionBackend):
+    """Execute grid cells on a fleet of (possibly remote) worker agents."""
+
+    name = "cluster"
+
+    #: How often the result loop wakes to check cluster health (seconds).
+    _TICK = 0.25
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 local_workers: int | None = None,
+                 worker_capacity: int = 1,
+                 ssh_hosts: Sequence[str] = (),
+                 ssh_cmd: str | None = None,
+                 lease_timeout: float | None = None,
+                 heartbeat_timeout: float = 10.0,
+                 startup_timeout: float = 30.0):
+        if local_workers is not None and local_workers < 0:
+            raise ClusterError(
+                f"local_workers must be >= 0, got {local_workers}"
+            )
+        if worker_capacity < 1:
+            raise ClusterError(
+                f"worker_capacity must be >= 1, got {worker_capacity}"
+            )
+        if lease_timeout is not None and lease_timeout <= 0:
+            raise ClusterError(
+                f"lease_timeout must be > 0, got {lease_timeout}"
+            )
+        self.host = host
+        self.port = port
+        self.local_workers = local_workers
+        self.worker_capacity = worker_capacity
+        self.ssh_hosts = tuple(ssh_hosts)
+        self.ssh_cmd = ssh_cmd
+        self.lease_timeout = lease_timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        self.startup_timeout = startup_timeout
+        self._coordinator: ClusterCoordinator | None = None
+        self._fleets: list[WorkerFleet] = []
+        self._grid_lock = threading.Lock()
+        self._lifecycle_lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int] | None:
+        """The coordinator's bound address once started, else ``None``."""
+        coordinator = self._coordinator
+        return coordinator.address if coordinator is not None else None
+
+    def _effective_local_workers(self) -> int:
+        if self.local_workers is not None:
+            return self.local_workers
+        return 0 if self.ssh_hosts else _default_local_workers()
+
+    def _ensure_started(self) -> ClusterCoordinator:
+        with self._lifecycle_lock:
+            if self._coordinator is not None:
+                return self._coordinator
+            coordinator = ClusterCoordinator(
+                self.host, self.port,
+                heartbeat_timeout=self.heartbeat_timeout).start()
+            fleets: list[WorkerFleet] = []
+            try:
+                n_local = self._effective_local_workers()
+                if n_local:
+                    fleets.append(LocalFleet(
+                        coordinator.address, n_local,
+                        capacity=self.worker_capacity).start())
+                if self.ssh_hosts:
+                    fleets.append(SshFleet(
+                        (self.host, coordinator.address[1]), self.ssh_hosts,
+                        ssh_cmd=self.ssh_cmd).start())
+            except Exception:
+                for fleet in fleets:
+                    fleet.terminate()
+                coordinator.stop()
+                raise
+            self._coordinator = coordinator
+            self._fleets = fleets
+            atexit.register(self.close)
+            return coordinator
+
+    def close(self) -> None:
+        """Shut the fleet and coordinator down (restartable afterwards)."""
+        with self._lifecycle_lock:
+            coordinator, fleets = self._coordinator, self._fleets
+            self._coordinator, self._fleets = None, []
+        if coordinator is None:
+            return
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+        coordinator.stop()
+        for fleet in fleets:
+            fleet.terminate()
+
+    def __enter__(self) -> "ClusterBackend":
+        self._ensure_started()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- execution -------------------------------------------------------
+    def execute(self, scenarios: Sequence[Scenario], runner: Runner, *,
+                timeout: float | None = None,
+                retries: int = 1) -> Iterator[tuple[int, object, int]]:
+        """Yield ``(index, outcome, attempts)`` triples, completion order."""
+        scenarios = list(scenarios)
+        if not scenarios:
+            return
+        runner_spec = runner_to_wire(runner)
+        with self._grid_lock:  # one grid at a time through the ledger
+            coordinator = self._ensure_started()
+            self._await_workers(coordinator)
+            lease = timeout if timeout is not None else self.lease_timeout
+            coordinator.submit(scenarios, runner=runner_spec,
+                               timeout=lease, retries=retries)
+            done = 0
+            try:
+                while done < len(scenarios):
+                    item = coordinator.ledger.next_outcome(timeout=self._TICK)
+                    if item is None:
+                        self._check_health(coordinator)
+                        continue
+                    done += 1
+                    yield item
+            finally:
+                if done < len(scenarios):
+                    # The consumer bailed (or health checking raised):
+                    # clear the batch so the next grid starts clean.
+                    coordinator.ledger.abandon()
+
+    # -- health ----------------------------------------------------------
+    def _await_workers(self, coordinator: ClusterCoordinator) -> None:
+        """Block until at least one worker registered (or fail loudly)."""
+        deadline = time.monotonic() + self.startup_timeout
+        while coordinator.worker_count() == 0:
+            self._check_fleet_alive()
+            if time.monotonic() >= deadline:
+                raise ClusterError(
+                    f"no cluster worker registered within "
+                    f"{self.startup_timeout:g}s; start workers with "
+                    f"'repro-experiments worker --connect "
+                    f"{self.host}:{coordinator.address[1]}' or configure "
+                    f"local_workers/ssh_hosts"
+                )
+            time.sleep(0.05)
+
+    def _check_health(self, coordinator: ClusterCoordinator) -> None:
+        """Raise when the grid can no longer make progress."""
+        if coordinator.worker_count() > 0:
+            return
+        self._check_fleet_alive()
+        without = coordinator.ledger.seconds_without_workers()
+        if without > self.startup_timeout:
+            raise ClusterError(
+                f"every cluster worker disconnected and none returned "
+                f"within {self.startup_timeout:g}s; "
+                f"{coordinator.ledger.outstanding()} cells are stranded"
+            )
+
+    def _check_fleet_alive(self) -> None:
+        """Fail fast when the backend's own fleet is entirely dead."""
+        if not self._fleets:
+            return
+        if any(fleet.alive() for fleet in self._fleets):
+            return
+        raise ClusterError(
+            "every spawned cluster worker process has exited; check worker "
+            "stderr above for the crash (runner import failure, bad "
+            "--ssh-cmd, OOM, ...)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (f"ClusterBackend(local_workers={self.local_workers}, "
+                f"ssh_hosts={list(self.ssh_hosts)}, "
+                f"worker_capacity={self.worker_capacity})")

@@ -1,0 +1,99 @@
+"""CLI plumbing for the cluster fabric.
+
+Three pieces, all routed through ``repro-experiments``:
+
+* :func:`worker_main` — the ``worker`` subcommand: one agent process
+  that dials a coordinator and serves cells until told to shut down.
+  This is what the local fleet spawns and what you run (directly or via
+  an ``--ssh-cmd`` template) on every extra host.
+* :func:`add_cluster_arguments` — the ``--cluster-*`` / ``--ssh-*``
+  option group shared by ``grid --backend cluster`` and
+  ``serve --backend cluster``.
+* :func:`cluster_backend_from_args` — builds the
+  :class:`~repro.cluster.backend.ClusterBackend` those flags describe.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.cluster.backend import ClusterBackend
+from repro.cluster.worker import ClusterWorkerAgent
+
+
+def worker_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments worker",
+        description="Run one cluster worker agent: connect to a "
+                    "coordinator, lease grid cells, stream results back "
+                    "until the coordinator shuts the cluster down.",
+    )
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the coordinator's address")
+    parser.add_argument("--name", default="worker",
+                        help="worker name for lease accounting "
+                             "(uniquified server-side; default: worker)")
+    parser.add_argument("--capacity", type=int, default=1, metavar="N",
+                        help="concurrent cells this agent accepts "
+                             "(default 1; engine cells are GIL-bound, so "
+                             "run more agents rather than raising this)")
+    parser.add_argument("--heartbeat", type=float, default=1.0, metavar="S",
+                        help="liveness beacon interval in seconds "
+                             "(default 1.0)")
+    args = parser.parse_args(argv)
+
+    agent = ClusterWorkerAgent(args.connect, name=args.name,
+                               capacity=args.capacity,
+                               heartbeat_interval=args.heartbeat)
+    return agent.run()
+
+
+def add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the ``--backend cluster`` topology options to ``parser``."""
+    group = parser.add_argument_group(
+        "cluster backend options (with --backend cluster)")
+    group.add_argument("--cluster-local", type=int, default=None, metavar="N",
+                       help="size of the auto-spawned local worker fleet "
+                            "(default: min(4, cpus) when no --ssh-host is "
+                            "given; 0 = externally launched workers only)")
+    group.add_argument("--cluster-host", default="127.0.0.1", metavar="HOST",
+                       help="coordinator bind address (default 127.0.0.1; "
+                            "use 0.0.0.0 to accept remote workers)")
+    group.add_argument("--cluster-port", type=int, default=0, metavar="PORT",
+                       help="coordinator port (default 0 = OS-assigned)")
+    group.add_argument("--worker-capacity", type=int, default=1, metavar="N",
+                       help="concurrent cells per spawned worker (default 1)")
+    group.add_argument("--ssh-host", action="append", default=None,
+                       metavar="HOST",
+                       help="bootstrap a worker on HOST via --ssh-cmd "
+                            "(repeatable)")
+    group.add_argument("--ssh-cmd", default=None, metavar="TEMPLATE",
+                       help="bootstrap command template with {host} and "
+                            "{addr} placeholders (default: 'ssh {host} "
+                            "repro-experiments worker --connect {addr}')")
+    group.add_argument("--lease-timeout", type=float, default=None,
+                       metavar="S",
+                       help="per-cell lease deadline; a hung worker "
+                            "forfeits the cell when it expires (default: "
+                            "none — rely on heartbeats)")
+
+
+def cluster_backend_from_args(args: argparse.Namespace,
+                              max_workers: int | None = None) \
+        -> ClusterBackend:
+    """The :class:`ClusterBackend` described by parsed cluster arguments.
+
+    ``max_workers`` (the generic pool-width flag) doubles as the local
+    fleet size when ``--cluster-local`` was not given, so
+    ``--backend cluster --max-workers 3`` does the obvious thing.
+    """
+    local = args.cluster_local
+    if local is None and max_workers is not None:
+        local = max_workers
+    return ClusterBackend(host=args.cluster_host, port=args.cluster_port,
+                          local_workers=local,
+                          worker_capacity=args.worker_capacity,
+                          ssh_hosts=tuple(args.ssh_host or ()),
+                          ssh_cmd=args.ssh_cmd,
+                          lease_timeout=args.lease_timeout)

@@ -1,0 +1,302 @@
+"""The cluster coordinator: TCP front end over the cell ledger.
+
+:class:`ClusterCoordinator` mirrors the sweep server's transport shape —
+a ``ThreadingTCPServer`` whose handler threads read each worker's
+requests while a dedicated writer thread drains that worker's outbound
+queue — but serves the *worker-facing* side of the fabric: workers dial
+in, register a capacity, and leased cells flow back down the same
+socket.  All scheduling decisions live in the
+:class:`~repro.cluster.ledger.CellLedger`; the coordinator contributes
+exactly three things:
+
+* **routing** — the ledger's ``publish(worker_id, message)`` lands on the
+  right worker's stream;
+* **liveness** — a monitor thread ticks the ledger (lease deadlines,
+  heartbeat staleness) and closes the sockets of workers the ledger
+  declared dead, and socket EOF (the common case: a SIGKILLed worker)
+  deregisters immediately without waiting out the heartbeat window;
+* **lifecycle** — :meth:`start` binds (``port=0`` = OS-assigned, read
+  :attr:`address`), :meth:`stop` broadcasts ``shutdown`` so fleet
+  workers exit cleanly before the listener closes.
+"""
+
+from __future__ import annotations
+
+import queue
+import socketserver
+import threading
+from typing import Any, Sequence
+
+from repro.cluster.ledger import CellLedger
+from repro.cluster.protocol import (
+    CLUSTER_PROTOCOL_VERSION,
+    dump_message,
+    outcome_from_wire,
+    parse_message,
+)
+from repro.errors import ClusterError, ServiceError
+from repro.scenarios.spec import Scenario
+
+#: Writer-queue sentinel: close the connection after flushing.
+_CLOSE = object()
+
+
+class _WorkerStream:
+    """One connected worker's outbound message queue + writer thread."""
+
+    def __init__(self, worker_id: str, wfile, connection):
+        self.worker_id = worker_id
+        self.wfile = wfile
+        self.connection = connection
+        self.outbound: "queue.SimpleQueue[object]" = queue.SimpleQueue()
+        self.gone = threading.Event()
+        self.writer = threading.Thread(target=self._write_loop,
+                                       name=f"cluster-writer-{worker_id}",
+                                       daemon=True)
+        self.writer.start()
+
+    def send(self, message: dict) -> None:
+        if not self.gone.is_set():
+            self.outbound.put(message)
+
+    def close(self) -> None:
+        self.outbound.put(_CLOSE)
+
+    def disconnect(self) -> None:
+        """Force the socket shut (unblocks the handler's read loop)."""
+        self.gone.set()
+        try:
+            self.connection.close()
+        except OSError:  # pragma: no cover - racing close
+            pass
+
+    def _write_loop(self) -> None:
+        while True:
+            message = self.outbound.get()
+            if message is _CLOSE:
+                break
+            try:
+                self.wfile.write(dump_message(message).encode("utf-8"))
+                self.wfile.flush()
+            except (OSError, ValueError):
+                # Worker went away mid-write; EOF handling cleans up.
+                self.gone.set()
+                break
+
+
+class _WorkerHandler(socketserver.StreamRequestHandler):
+    """Reads one worker's requests; leases ride the worker's stream."""
+
+    server: "_ClusterTCPServer"
+
+    def handle(self) -> None:
+        coordinator = self.server.coordinator
+        stream: _WorkerStream | None = None
+        try:
+            for raw in self.rfile:
+                try:
+                    message = parse_message(raw.decode("utf-8"))
+                except (ServiceError, UnicodeDecodeError):
+                    break  # framing is broken; drop the connection
+                op = message.get("op")
+                if stream is None:
+                    if op != "register":
+                        self.wfile.write(dump_message(
+                            {"type": "error", "op": op,
+                             "message": "first message must be 'register'"}
+                        ).encode("utf-8"))
+                        break
+                    protocol = message.get("protocol",
+                                           CLUSTER_PROTOCOL_VERSION)
+                    if protocol != CLUSTER_PROTOCOL_VERSION:
+                        self.wfile.write(dump_message(
+                            {"type": "error", "op": "register",
+                             "message": f"protocol {protocol} unsupported "
+                                        f"(coordinator speaks "
+                                        f"{CLUSTER_PROTOCOL_VERSION})"}
+                        ).encode("utf-8"))
+                        break
+                    try:
+                        # _register enqueues the welcome itself, *before*
+                        # the ledger starts leasing — so the worker always
+                        # sees welcome first on the wire.
+                        stream = coordinator._register(
+                            str(message.get("worker") or "worker"),
+                            int(message.get("capacity") or 1),
+                            self.wfile, self.connection)
+                    except ClusterError as exc:
+                        self.wfile.write(dump_message(
+                            {"type": "error", "op": "register",
+                             "message": str(exc)}).encode("utf-8"))
+                        break
+                    continue
+                if op == "heartbeat":
+                    coordinator.ledger.heartbeat(stream.worker_id)
+                elif op == "result":
+                    try:
+                        outcome = outcome_from_wire(message.get("outcome"))
+                        cell_id = int(message.get("cell", -1))
+                    except (ServiceError, TypeError, ValueError):
+                        stream.send({"type": "error", "op": "result",
+                                     "message": "malformed result"})
+                        continue
+                    coordinator.ledger.complete(stream.worker_id, cell_id,
+                                                outcome)
+                elif op == "bye":
+                    break
+                else:
+                    stream.send({"type": "error", "op": op,
+                                 "message": f"unknown op {op!r}"})
+        finally:
+            if stream is not None:
+                coordinator._deregister(stream)
+
+
+class _ClusterTCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    coordinator: "ClusterCoordinator"
+
+
+class ClusterCoordinator:
+    """Leases grid cells to remote workers and collects their results.
+
+    Typically owned by a
+    :class:`~repro.cluster.backend.ClusterBackend`; standalone use::
+
+        coordinator = ClusterCoordinator(port=0).start()
+        host, port = coordinator.address          # give this to workers
+        coordinator.submit(scenarios, retries=1)
+        while ...:
+            triple = coordinator.ledger.next_outcome(timeout=0.5)
+
+    ``heartbeat_timeout`` is how long a silent worker survives;
+    ``tick_interval`` is the monitor thread's sweep period.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 heartbeat_timeout: float = 10.0,
+                 tick_interval: float = 0.25):
+        self.ledger = CellLedger(self._publish,
+                                 heartbeat_timeout=heartbeat_timeout)
+        self._streams: dict[str, _WorkerStream] = {}
+        self._streams_lock = threading.Lock()
+        self._issued_ids: set[str] = set()
+        self._worker_seq = 0
+        self._tcp = _ClusterTCPServer((host, port), _WorkerHandler,
+                                      bind_and_activate=True)
+        self._tcp.coordinator = self
+        self._tick_interval = tick_interval
+        self._stopping = threading.Event()
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         name="cluster-monitor", daemon=True)
+        self._serve_thread: threading.Thread | None = None
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually-bound ``(host, port)``."""
+        host, port = self._tcp.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> "ClusterCoordinator":
+        """Accept workers and start the liveness monitor."""
+        if self._started:
+            return self
+        self._started = True
+        self._serve_thread = threading.Thread(
+            target=self._tcp.serve_forever, name="cluster-acceptor",
+            kwargs={"poll_interval": 0.1}, daemon=True)
+        self._serve_thread.start()
+        self._monitor.start()
+        return self
+
+    def stop(self) -> None:
+        """Tell workers to shut down, then close the listener."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        with self._streams_lock:
+            streams = list(self._streams.values())
+        for stream in streams:
+            stream.send({"type": "shutdown"})
+            stream.close()
+        if self._started:
+            self._tcp.shutdown()
+        self._tcp.server_close()
+
+    # -- scheduling façade ----------------------------------------------
+    def submit(self, scenarios: Sequence[Scenario], *,
+               runner: str | None = None,
+               timeout: float | None = None,
+               retries: int = 1) -> int:
+        """Queue one grid batch on the ledger (leases flow immediately)."""
+        return self.ledger.submit(scenarios, runner=runner, timeout=timeout,
+                                  retries=retries)
+
+    def worker_count(self) -> int:
+        return self.ledger.worker_count()
+
+    def status(self) -> dict[str, Any]:
+        return self.ledger.status()
+
+    # -- internals -------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(self._tick_interval):
+            for worker_id in self.ledger.tick():
+                with self._streams_lock:
+                    stream = self._streams.pop(worker_id, None)
+                if stream is not None:
+                    stream.disconnect()
+                    stream.close()
+
+    def _publish(self, worker_id: str, message: dict) -> None:
+        with self._streams_lock:
+            stream = self._streams.get(worker_id)
+        if stream is not None:
+            stream.send(message)
+
+    def _register(self, requested: str, capacity: int, wfile,
+                  connection) -> _WorkerStream:
+        # The stream must be routable *before* the ledger admits the
+        # worker — leases are published the moment registration lands —
+        # so ids are uniquified here (against every id ever issued, in
+        # case a dead worker's ledger entry is still being torn down)
+        # and the dict insert happens first.
+        with self._streams_lock:
+            worker_id = requested
+            if worker_id in self._issued_ids:
+                self._worker_seq += 1
+                worker_id = f"{requested}#{self._worker_seq}"
+            self._issued_ids.add(worker_id)
+            stream = _WorkerStream(worker_id, wfile, connection)
+            self._streams[worker_id] = stream
+        # Welcome is enqueued before the ledger admits the worker: the
+        # ledger leases queued cells the instant registration lands, and
+        # the worker expects welcome as the first line on the wire.
+        stream.send({"type": "welcome", "worker": worker_id,
+                     "protocol": CLUSTER_PROTOCOL_VERSION})
+        try:
+            self.ledger.register_worker(worker_id, capacity)
+        except ClusterError:
+            with self._streams_lock:
+                if self._streams.get(worker_id) is stream:
+                    del self._streams[worker_id]
+            stream.close()
+            raise
+        return stream
+
+    def _deregister(self, stream: _WorkerStream) -> None:
+        with self._streams_lock:
+            current = self._streams.get(stream.worker_id)
+            if current is stream:
+                del self._streams[stream.worker_id]
+        self.ledger.remove_worker(stream.worker_id,
+                                  reason="connection closed")
+        stream.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        host, port = self.address
+        return (f"ClusterCoordinator({host}:{port}, "
+                f"workers={self.worker_count()})")

@@ -1,0 +1,164 @@
+"""Worker fleets: processes the backend spawns so a cluster "just runs".
+
+Two bootstrap strategies, one tiny interface (``start`` / ``alive`` /
+``terminate``):
+
+* :class:`LocalFleet` — N ``repro-experiments worker`` subprocesses on
+  this host, connected over loopback.  This is how CI and laptops
+  exercise the *full* wire path (registration, leases, heartbeats,
+  result streaming, death recovery) with zero infrastructure, and how
+  ``--backend cluster`` works out of the box.  Workers inherit the
+  parent's ``sys.path`` via ``PYTHONPATH`` so runner callables defined
+  in scripts and test modules resolve in the children.
+* :class:`SshFleet` — one bootstrap subprocess per remote host, built
+  from a ``--ssh-cmd`` template with ``{host}`` and ``{addr}``
+  placeholders (default: ``ssh {host} repro-experiments worker
+  --connect {addr}``).  The template is deliberately dumb — no custom
+  transport, no agent forwarding logic — because every site's ssh
+  wrapper is different; anything that can exec a command with the
+  coordinator's address substituted in can launch a worker (pdsh, a
+  container runtime, a batch scheduler...).
+
+Fleets never restart dead workers: a worker death is a *signal* the
+coordinator handles by requeueing leases, and silently respawning would
+mask systematic crashes (an OOM-looping cell would thrash forever).
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import subprocess
+import sys
+from typing import Sequence
+
+from repro.errors import ClusterError
+
+#: The default ``--ssh-cmd`` template.
+DEFAULT_SSH_CMD = "ssh {host} repro-experiments worker --connect {addr}"
+
+
+def _worker_env() -> dict[str, str]:
+    """The parent environment plus an import path matching ``sys.path``.
+
+    Grid runners may live in modules only importable through the
+    parent's ``sys.path`` (a test file, a script's directory); exporting
+    it as ``PYTHONPATH`` gives spawned workers the same import universe.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    return env
+
+
+class WorkerFleet:
+    """Common accounting over a list of worker ``Popen`` handles."""
+
+    def __init__(self) -> None:
+        self.processes: list[subprocess.Popen] = []
+
+    def start(self) -> "WorkerFleet":
+        raise NotImplementedError
+
+    def alive(self) -> int:
+        """How many fleet processes are still running."""
+        return sum(1 for p in self.processes if p.poll() is None)
+
+    def pids(self) -> list[int]:
+        return [p.pid for p in self.processes]
+
+    def terminate(self, grace: float = 5.0) -> None:
+        """SIGTERM every live process, then SIGKILL stragglers."""
+        for process in self.processes:
+            if process.poll() is None:
+                try:
+                    process.terminate()
+                except OSError:  # pragma: no cover - racing exit
+                    pass
+        for process in self.processes:
+            try:
+                process.wait(timeout=grace)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                try:
+                    process.wait(timeout=grace)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass
+        self.processes.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(alive={self.alive()})"
+
+
+class LocalFleet(WorkerFleet):
+    """``count`` worker subprocesses connected to ``address`` over loopback."""
+
+    def __init__(self, address: tuple[str, int], count: int, *,
+                 capacity: int = 1,
+                 heartbeat_interval: float = 1.0,
+                 name_prefix: str = "local"):
+        super().__init__()
+        if count < 1:
+            raise ClusterError(f"a local fleet needs count >= 1, got {count}")
+        self.address = address
+        self.count = count
+        self.capacity = capacity
+        self.heartbeat_interval = heartbeat_interval
+        self.name_prefix = name_prefix
+
+    def start(self) -> "LocalFleet":
+        """Spawn the workers (stderr inherited, so crashes are visible)."""
+        host, port = self.address
+        env = _worker_env()
+        for i in range(self.count):
+            command = [
+                sys.executable, "-m", "repro.experiments", "worker",
+                "--connect", f"{host}:{port}",
+                "--capacity", str(self.capacity),
+                "--heartbeat", str(self.heartbeat_interval),
+                "--name", f"{self.name_prefix}-{i}",
+            ]
+            self.processes.append(subprocess.Popen(
+                command, env=env, stdout=subprocess.DEVNULL))
+        return self
+
+
+class SshFleet(WorkerFleet):
+    """One bootstrap subprocess per remote host, from a command template.
+
+    ``ssh_cmd`` may use ``{host}`` (the remote host) and ``{addr}`` (the
+    coordinator's ``host:port`` as workers should dial it — mind that an
+    ``127.0.0.1``-bound coordinator is unreachable from other machines;
+    bind with ``host="0.0.0.0"`` or a routable interface).
+    """
+
+    def __init__(self, address: tuple[str, int], hosts: Sequence[str], *,
+                 ssh_cmd: str | None = None):
+        super().__init__()
+        if not hosts:
+            raise ClusterError("an ssh fleet needs at least one host")
+        self.address = address
+        self.hosts = [str(h) for h in hosts]
+        self.ssh_cmd = ssh_cmd or DEFAULT_SSH_CMD
+
+    def render(self, host: str) -> list[str]:
+        """The argv for one host's bootstrap command."""
+        addr = f"{self.address[0]}:{self.address[1]}"
+        try:
+            rendered = self.ssh_cmd.format(host=host, addr=addr)
+        except (KeyError, IndexError) as exc:
+            raise ClusterError(
+                f"bad --ssh-cmd template {self.ssh_cmd!r}: {exc} "
+                f"(known placeholders: {{host}}, {{addr}})"
+            ) from None
+        argv = shlex.split(rendered)
+        if not argv:
+            raise ClusterError(f"--ssh-cmd template rendered empty: "
+                               f"{self.ssh_cmd!r}")
+        return argv
+
+    def start(self) -> "SshFleet":
+        env = _worker_env()
+        for host in self.hosts:
+            self.processes.append(subprocess.Popen(
+                self.render(host), env=env, stdout=subprocess.DEVNULL))
+        return self

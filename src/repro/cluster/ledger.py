@@ -1,0 +1,337 @@
+"""The cell ledger: leases, retries and worker accounting, socket-free.
+
+:class:`CellLedger` is to the cluster what
+:class:`~repro.service.broker.SweepBroker` is to the sweep service — the
+single-lock scheduling heart that the TCP layer stays out of.  It tracks
+one batch of grid cells at a time through a small state machine:
+
+``queued`` → ``leased`` → done (an outcome on the outcome queue)
+
+* **Leasing** hands queued cells to registered workers with free slots,
+  round-robin across workers so one fast registrant does not starve the
+  rest.  Every lease charges the cell an attempt and (when the batch has
+  a timeout) arms a deadline.
+* **Worker death** (socket EOF, missed heartbeats, or a clean ``bye``
+  with leases outstanding) requeues the worker's leased cells while the
+  retry budget lasts, then emits a ``"worker-death"``
+  :class:`~repro.scenarios.backends.CellError` whose ``attempts`` count
+  surfaces as ``GridReport.retries`` — exactly the processes backend's
+  semantics, stretched across hosts.
+* **Lease expiry** (a hung-but-heartbeating worker) requeues the same
+  way with kind ``"timeout"`` once the budget runs out.
+* **Late results** for a cell that was already requeued still retire it
+  (first completion wins); results for unknown cells — a prior batch, a
+  double send — are ignored, so duplicated effort is never double
+  reported.
+
+The ledger publishes leases through a caller-supplied ``publish(worker_id,
+message)`` callback (the coordinator routes it onto the worker's outbound
+queue), which must never block: assignment happens under the ledger lock.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ClusterError
+from repro.scenarios.backends import CellError
+from repro.scenarios.spec import Scenario
+
+
+@dataclass
+class WorkerInfo:
+    """One registered worker's lease accounting."""
+
+    worker_id: str
+    capacity: int
+    inflight: int = 0
+    completed: int = 0
+    last_seen: float = field(default_factory=time.monotonic)
+
+
+@dataclass
+class _TrackedCell:
+    """One grid cell's journey through the ledger."""
+
+    cell_id: int
+    index: int
+    scenario: Scenario
+    attempts: int = 0
+    state: str = "queued"  # "queued" | "leased"
+    worker: str | None = None
+    deadline: float | None = None
+
+
+class CellLedger:
+    """Lease/retry bookkeeping for one batch of cells at a time.
+
+    ``publish(worker_id, message)`` delivers a lease to a worker's stream
+    and must not block.  ``heartbeat_timeout`` is how long a silent
+    worker survives before its leases requeue.
+    """
+
+    def __init__(self, publish: Callable[[str, Mapping[str, Any]], None], *,
+                 heartbeat_timeout: float = 10.0):
+        if heartbeat_timeout <= 0:
+            raise ClusterError(
+                f"heartbeat_timeout must be > 0, got {heartbeat_timeout}"
+            )
+        self.publish = publish
+        self.heartbeat_timeout = heartbeat_timeout
+        self._lock = threading.Lock()
+        self._workers: dict[str, WorkerInfo] = {}
+        self._rotation: deque[str] = deque()
+        self._cells: dict[int, _TrackedCell] = {}
+        self._queue: deque[int] = deque()
+        self._outcomes: "queue.SimpleQueue[tuple[int, object, int]]" = \
+            queue.SimpleQueue()
+        self._cell_seq = 0
+        self._outstanding = 0
+        self._timeout: float | None = None
+        self._retries = 1
+        self._runner: str | None = None
+        self._last_worker_present = time.monotonic()
+
+    # -- workers ---------------------------------------------------------
+    def register_worker(self, worker_id: str, capacity: int) -> None:
+        """Admit a worker and immediately lease queued cells to it.
+
+        The caller (the coordinator) owns id uniqueness and must be able
+        to route ``publish(worker_id, ...)`` *before* calling this —
+        leases can flow the moment the worker is admitted.
+        """
+        if capacity < 1:
+            raise ClusterError(f"worker capacity must be >= 1, got {capacity}")
+        with self._lock:
+            if worker_id in self._workers:
+                raise ClusterError(
+                    f"worker id {worker_id!r} is already registered"
+                )
+            self._workers[worker_id] = WorkerInfo(worker_id, capacity)
+            self._rotation.append(worker_id)
+            self._last_worker_present = time.monotonic()
+            self._assign()
+
+    def heartbeat(self, worker_id: str) -> None:
+        """Record a liveness beacon (unknown workers are ignored)."""
+        with self._lock:
+            worker = self._workers.get(worker_id)
+            if worker is not None:
+                worker.last_seen = time.monotonic()
+
+    def remove_worker(self, worker_id: str, *, reason: str) -> None:
+        """Drop a worker; its leased cells requeue or fail (charged)."""
+        with self._lock:
+            self._remove_worker_locked(worker_id, reason=reason,
+                                       kind="worker-death")
+            self._assign()
+
+    def worker_count(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def seconds_without_workers(self) -> float:
+        """How long the ledger has been workerless (0.0 while staffed)."""
+        with self._lock:
+            if self._workers:
+                return 0.0
+            return time.monotonic() - self._last_worker_present
+
+    # -- batches ---------------------------------------------------------
+    def submit(self, scenarios: Sequence[Scenario], *,
+               runner: str | None = None,
+               timeout: float | None = None,
+               retries: int = 1) -> int:
+        """Queue one batch of cells; returns the batch size.
+
+        One batch at a time: the backend serialises grids, and stale
+        results from an abandoned batch must never leak into the next.
+        """
+        with self._lock:
+            if self._outstanding:
+                raise ClusterError(
+                    f"the cluster ledger already has {self._outstanding} "
+                    f"outstanding cells; one grid at a time"
+                )
+            self._timeout = timeout
+            self._retries = max(0, int(retries))
+            self._runner = runner
+            for index, scenario in enumerate(scenarios):
+                self._cell_seq += 1
+                cell = _TrackedCell(self._cell_seq, index, scenario)
+                self._cells[cell.cell_id] = cell
+                self._queue.append(cell.cell_id)
+            self._outstanding = len(self._cells)
+            self._assign()
+            return self._outstanding
+
+    def abandon(self) -> None:
+        """Forget the current batch (a consumer gave up mid-grid)."""
+        with self._lock:
+            for cell in self._cells.values():
+                if cell.state == "leased":
+                    worker = self._workers.get(cell.worker or "")
+                    if worker is not None:
+                        worker.inflight = max(0, worker.inflight - 1)
+            self._cells.clear()
+            self._queue.clear()
+            self._outstanding = 0
+            while True:  # drain stale outcomes
+                try:
+                    self._outcomes.get_nowait()
+                except queue.Empty:
+                    break
+
+    def complete(self, worker_id: str, cell_id: int, outcome: object) -> bool:
+        """Retire a cell with a worker-reported outcome (first one wins).
+
+        Returns ``False`` for stale completions (already retired, or a
+        prior batch) — those are ignored, not errors: an expired lease
+        whose worker finished anyway is expected traffic.
+        """
+        with self._lock:
+            cell = self._cells.get(cell_id)
+            if cell is None:
+                return False
+            if cell.state == "leased" and cell.worker is not None:
+                worker = self._workers.get(cell.worker)
+                if worker is not None:
+                    worker.inflight = max(0, worker.inflight - 1)
+                    worker.completed += 1
+            if isinstance(outcome, CellError) \
+                    and outcome.attempts != cell.attempts:
+                # Workers report attempts=1 (they only see their own try);
+                # the ledger owns the true count.
+                outcome = CellError(outcome.scenario, outcome.kind,
+                                    outcome.message, cell.attempts)
+            self._finish_locked(cell, outcome)
+            self._assign()
+            return True
+
+    def next_outcome(self, timeout: float | None = None) \
+            -> tuple[int, object, int] | None:
+        """Pop one ``(index, outcome, attempts)`` triple, or ``None``."""
+        try:
+            return self._outcomes.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def outstanding(self) -> int:
+        with self._lock:
+            return self._outstanding
+
+    # -- liveness sweep --------------------------------------------------
+    def tick(self, now: float | None = None) -> list[str]:
+        """Expire stale leases and silent workers; returns dead worker ids.
+
+        Called periodically by the coordinator's monitor thread.  The
+        returned ids let the transport close the matching sockets.
+        """
+        if now is None:
+            now = time.monotonic()
+        dead: list[str] = []
+        with self._lock:
+            for worker_id, worker in list(self._workers.items()):
+                if now - worker.last_seen > self.heartbeat_timeout:
+                    dead.append(worker_id)
+                    self._remove_worker_locked(
+                        worker_id, kind="worker-death",
+                        reason=f"no heartbeat for "
+                               f"{self.heartbeat_timeout:g}s")
+            for cell in list(self._cells.values()):
+                if cell.state == "leased" and cell.deadline is not None \
+                        and now >= cell.deadline:
+                    worker = self._workers.get(cell.worker or "")
+                    if worker is not None:
+                        worker.inflight = max(0, worker.inflight - 1)
+                    self._fail_or_requeue_locked(
+                        cell, kind="timeout",
+                        reason=f"lease expired after "
+                               f"{self._timeout:g}s on worker "
+                               f"{cell.worker!r}")
+            if self._workers:
+                self._last_worker_present = now
+            self._assign()
+        return dead
+
+    def status(self) -> dict[str, Any]:
+        """Counters for logging and tests."""
+        with self._lock:
+            return {
+                "workers": {w.worker_id: {"capacity": w.capacity,
+                                          "inflight": w.inflight,
+                                          "completed": w.completed}
+                            for w in self._workers.values()},
+                "queued": len(self._queue),
+                "leased": sum(1 for c in self._cells.values()
+                              if c.state == "leased"),
+                "outstanding": self._outstanding,
+            }
+
+    # -- internals (all hold self._lock) ---------------------------------
+    def _assign(self) -> None:
+        """Lease queued cells to free worker slots, round-robin."""
+        while self._queue and self._rotation:
+            worker = None
+            for _ in range(len(self._rotation)):
+                candidate = self._workers.get(self._rotation[0])
+                self._rotation.rotate(-1)
+                if candidate is not None \
+                        and candidate.inflight < candidate.capacity:
+                    worker = candidate
+                    break
+            if worker is None:
+                break  # every worker is saturated
+            cell = self._cells.get(self._queue.popleft())
+            if cell is None or cell.state != "queued":
+                continue  # lazily retired while queued
+            cell.state = "leased"
+            cell.worker = worker.worker_id
+            cell.attempts += 1
+            cell.deadline = (time.monotonic() + self._timeout
+                             if self._timeout is not None else None)
+            worker.inflight += 1
+            self.publish(worker.worker_id, {
+                "type": "cell", "cell": cell.cell_id, "index": cell.index,
+                "scenario": cell.scenario.to_dict(), "runner": self._runner,
+            })
+
+    def _remove_worker_locked(self, worker_id: str, *, kind: str,
+                              reason: str) -> None:
+        if self._workers.pop(worker_id, None) is None:
+            return
+        try:
+            self._rotation.remove(worker_id)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        for cell in list(self._cells.values()):
+            if cell.state == "leased" and cell.worker == worker_id:
+                self._fail_or_requeue_locked(
+                    cell, kind=kind,
+                    reason=f"worker {worker_id!r} died mid-cell ({reason})")
+
+    def _fail_or_requeue_locked(self, cell: _TrackedCell, *, kind: str,
+                                reason: str) -> None:
+        """A charged failure: retry while the budget lasts, then report."""
+        if cell.attempts <= self._retries:
+            cell.state = "queued"
+            cell.worker = None
+            cell.deadline = None
+            self._queue.append(cell.cell_id)
+        else:
+            self._finish_locked(
+                cell, CellError(cell.scenario, kind, reason, cell.attempts))
+
+    def _finish_locked(self, cell: _TrackedCell, outcome: object) -> None:
+        del self._cells[cell.cell_id]
+        self._outstanding -= 1
+        self._outcomes.put((cell.index, outcome, max(1, cell.attempts)))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (f"CellLedger(workers={len(self._workers)}, "
+                f"outstanding={self._outstanding})")

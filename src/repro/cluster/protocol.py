@@ -1,0 +1,132 @@
+"""Wire protocol of the cluster fabric: NDJSON over TCP, worker-initiated.
+
+The cluster speaks the same framing as the sweep service
+(:mod:`repro.service.protocol` — one JSON object per line, stdlib only)
+but the roles are inverted: here the *worker* dials the coordinator,
+announces a capacity, and the coordinator pushes leased cells down the
+same socket the worker registered on.  Requests flow worker →
+coordinator carrying an ``"op"`` field; everything the coordinator sends
+carries a ``"type"`` field.
+
+Worker requests
+---------------
+``{"op": "register", "worker": NAME, "capacity": C, "protocol": 1}``
+    Mandatory first message; the coordinator replies ``welcome`` with the
+    (possibly uniquified) worker id used in lease accounting.
+``{"op": "heartbeat"}``
+    Periodic liveness beacon.  A worker whose heartbeats stop (and whose
+    socket lingers half-open) is declared dead and its leases requeue.
+``{"op": "result", "cell": ID, "outcome": {"result": ...} | {"error": ...}}``
+    One finished cell.  The outcome envelope is exactly the sweep
+    service's (:func:`~repro.service.protocol.outcome_to_wire`), so both
+    fabrics round-trip results through the same ``to_dict`` contract.
+``{"op": "bye"}``
+    Clean deregistration; outstanding leases requeue like a death.
+
+Coordinator messages
+--------------------
+``{"type": "welcome", "worker": ID, "protocol": 1}``
+    Registration accepted.
+``{"type": "cell", "cell": ID, "index": I, "scenario": {...}, "runner": SPEC}``
+    One leased cell.  ``runner`` is an importable ``"module:qualname"``
+    spec or ``null`` for the default prebuilt runner
+    (:func:`~repro.scenarios.prebuilt.run_scenario_prebuilt`) — cells
+    never carry pickled callables, so any host with the code checked out
+    can serve as a worker.
+``{"type": "shutdown"}``
+    The coordinator is winding down; the worker exits cleanly.
+``{"type": "error", "message": ...}``
+    A protocol violation (echoed before the connection drops).
+
+Runner specs
+------------
+:func:`runner_to_wire` turns a runner callable into its import spec and
+refuses callables that cannot be re-imported (lambdas, closures,
+instance-bound callables); :func:`runner_from_wire` is the worker-side
+inverse.  The round trip is verified at the coordinator, so a bad runner
+fails fast at submit time instead of on a remote host.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Callable
+
+from repro.errors import ClusterError
+
+# The framing and outcome envelopes are shared with the sweep service on
+# purpose: one NDJSON dialect for the whole codebase.
+from repro.service.protocol import (  # noqa: F401  (re-exported)
+    dump_message,
+    outcome_from_wire,
+    outcome_to_wire,
+    parse_message,
+)
+
+#: Bumped on incompatible message-shape changes; ``register`` carries the
+#: worker's version and the coordinator rejects mismatches loudly.
+CLUSTER_PROTOCOL_VERSION = 1
+
+
+def runner_to_wire(runner: Callable) -> str | None:
+    """The importable ``"module:qualname"`` spec for ``runner``.
+
+    The default runner (the prebuilt-worker path) travels as ``None`` so
+    workers resolve it locally without an import round trip.  Anything
+    else must be importable *and* import back to the very same object —
+    otherwise the worker would silently run different code than the
+    coordinator was handed.
+    """
+    from repro.scenarios.prebuilt import run_scenario_prebuilt
+
+    if runner is run_scenario_prebuilt:
+        return None
+    module = getattr(runner, "__module__", None)
+    qualname = getattr(runner, "__qualname__", None)
+    if not module or not qualname or "<" in qualname:
+        raise ClusterError(
+            f"cluster runners must be module-level callables (importable on "
+            f"worker hosts); {runner!r} is not"
+        )
+    spec = f"{module}:{qualname}"
+    try:
+        resolved = runner_from_wire(spec)
+    except ClusterError:
+        resolved = None
+    if resolved is not runner:
+        raise ClusterError(
+            f"runner {runner!r} does not import back as {spec!r}; cluster "
+            f"runners must be module-level callables reachable by name"
+        )
+    return spec
+
+
+def runner_from_wire(spec: str | None) -> Callable:
+    """Inverse of :func:`runner_to_wire` (``None`` → the prebuilt runner)."""
+    if spec is None:
+        from repro.scenarios.prebuilt import run_scenario_prebuilt
+
+        return run_scenario_prebuilt
+    if not isinstance(spec, str) or ":" not in spec:
+        raise ClusterError(
+            f"malformed runner spec {spec!r}; expected 'module:qualname'"
+        )
+    module_name, _, qualname = spec.partition(":")
+    try:
+        obj: object = import_module(module_name)
+    except ImportError as exc:
+        raise ClusterError(
+            f"cannot import runner module {module_name!r} on this worker: "
+            f"{exc}"
+        ) from None
+    for part in qualname.split("."):
+        try:
+            obj = getattr(obj, part)
+        except AttributeError:
+            raise ClusterError(
+                f"runner spec {spec!r} does not resolve: {module_name!r} has "
+                f"no attribute path {qualname!r}"
+            ) from None
+    if not callable(obj):
+        raise ClusterError(f"runner spec {spec!r} resolves to a non-callable")
+    return obj

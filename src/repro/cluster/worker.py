@@ -1,0 +1,196 @@
+"""The worker agent: dial a coordinator, run leased cells, stream results.
+
+:class:`ClusterWorkerAgent` is the whole client side of the fabric —
+what ``repro-experiments worker --connect HOST:PORT`` runs, and what the
+local fleet spawns as subprocesses.  It connects, registers with a
+capacity, then loops reading coordinator messages:
+
+* ``cell`` leases run on a small thread pool (``capacity`` wide — engine
+  cells are GIL-bound pure Python, so capacity is about pipelining the
+  wire, not parallelism; run several *agents* per host for parallelism);
+  the runner is resolved from its ``"module:qualname"`` wire spec once
+  and memoized, with ``None`` meaning the default prebuilt runner, whose
+  per-workload memo makes repeated cells of one grid cheap exactly like
+  the process-pool workers;
+* a daemon heartbeat thread beacons liveness every
+  ``heartbeat_interval`` seconds (the coordinator declares silent
+  workers dead at its own ``heartbeat_timeout``);
+* runner exceptions become ``"error"``
+  :class:`~repro.scenarios.backends.CellError` outcomes worker-side —
+  only a *dying* worker (SIGKILL, OOM, ``os._exit``) shows up as a
+  worker-death, which is the coordinator's requeue path.
+
+The agent exits 0 on a coordinator-initiated ``shutdown`` and 1 when the
+connection drops unexpectedly.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+from repro.cluster.protocol import (
+    CLUSTER_PROTOCOL_VERSION,
+    dump_message,
+    outcome_to_wire,
+    parse_message,
+    runner_from_wire,
+)
+from repro.errors import ClusterError, ServiceError
+from repro.scenarios.backends import CellError, _error_outcome
+from repro.scenarios.spec import Scenario
+
+
+def parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
+    """Coerce ``"host:port"`` (or a pair) into a ``(host, port)`` tuple."""
+    if isinstance(address, str):
+        host, _, port_text = address.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise ClusterError(
+                f"malformed address {address!r}; expected 'host:port'"
+            )
+        return host, int(port_text)
+    return str(address[0]), int(address[1])
+
+
+class ClusterWorkerAgent:
+    """One worker process's connection to a cluster coordinator."""
+
+    def __init__(self, address: "str | tuple[str, int]", *,
+                 name: str = "worker",
+                 capacity: int = 1,
+                 heartbeat_interval: float = 1.0,
+                 connect_timeout: float = 10.0):
+        if capacity < 1:
+            raise ClusterError(f"capacity must be >= 1, got {capacity}")
+        if heartbeat_interval <= 0:
+            raise ClusterError(
+                f"heartbeat_interval must be > 0, got {heartbeat_interval}"
+            )
+        self.address = parse_address(address)
+        self.name = name
+        self.capacity = capacity
+        self.heartbeat_interval = heartbeat_interval
+        self.connect_timeout = connect_timeout
+        #: The coordinator-assigned id (set after the welcome handshake).
+        self.worker_id: str | None = None
+        #: Cells this agent finished (successes and errors).
+        self.completed = 0
+        self._runners: dict[str | None, Callable] = {}
+        self._write_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._wfile = None
+
+    def run(self) -> int:
+        """Serve until the coordinator says ``shutdown``; returns exit code.
+
+        0 for a clean shutdown, 1 when the connection drops first.
+        """
+        try:
+            sock = socket.create_connection(self.address,
+                                            timeout=self.connect_timeout)
+        except OSError as exc:
+            raise ClusterError(
+                f"cannot connect to cluster coordinator at "
+                f"{self.address[0]}:{self.address[1]}: {exc}"
+            ) from None
+        sock.settimeout(None)
+        rfile = sock.makefile("r", encoding="utf-8")
+        self._wfile = sock.makefile("w", encoding="utf-8")
+        clean = False
+        executor = ThreadPoolExecutor(max_workers=self.capacity,
+                                      thread_name_prefix="cluster-cell")
+        try:
+            self._send({"op": "register", "worker": self.name,
+                        "capacity": self.capacity,
+                        "protocol": CLUSTER_PROTOCOL_VERSION})
+            welcome = parse_message(rfile.readline() or "null")
+            if welcome.get("type") == "error":
+                raise ClusterError(
+                    f"coordinator rejected registration: "
+                    f"{welcome.get('message')}"
+                )
+            if welcome.get("type") != "welcome":
+                raise ClusterError(f"expected welcome, got {welcome!r}")
+            self.worker_id = str(welcome.get("worker"))
+            heartbeat = threading.Thread(target=self._heartbeat_loop,
+                                         name="cluster-heartbeat",
+                                         daemon=True)
+            heartbeat.start()
+            for line in rfile:
+                try:
+                    message = parse_message(line)
+                except ServiceError:
+                    break  # framing broken; reconnecting won't help
+                kind = message.get("type")
+                if kind == "cell":
+                    executor.submit(self._run_cell, message)
+                elif kind == "shutdown":
+                    clean = True
+                    break
+                # "error" and unknown types: nothing actionable; keep going
+        finally:
+            self._stop.set()
+            # In-flight cells die with the process; the coordinator's
+            # EOF handling requeues them, which is the contract.
+            executor.shutdown(wait=clean, cancel_futures=not clean)
+            for handle in (rfile, self._wfile, sock):
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+        return 0 if clean else 1
+
+    # -- internals -------------------------------------------------------
+    def _run_cell(self, message: dict) -> None:
+        try:
+            scenario = Scenario.from_dict(message.get("scenario"))
+        except Exception as exc:
+            # Version skew between coordinator and worker code: the lease
+            # cannot even be named.  Leave it to the coordinator's lease
+            # timeout / requeue machinery rather than inventing a result.
+            print(f"cluster worker: undecodable cell "
+                  f"{message.get('cell')!r}: {exc}", file=sys.stderr)
+            return
+        try:
+            runner_spec = message.get("runner")
+            if runner_spec not in self._runners:
+                self._runners[runner_spec] = runner_from_wire(runner_spec)
+            outcome = self._runners[runner_spec](scenario)
+            if not isinstance(outcome, CellError):
+                outcome_to_wire(outcome)  # probe serialisability early
+        except Exception as exc:
+            outcome = _error_outcome(scenario, exc, 1)
+        self.completed += 1
+        try:
+            self._send({"op": "result", "cell": message.get("cell"),
+                        "outcome": outcome_to_wire(outcome)})
+        except ClusterError:
+            pass  # connection is gone; the read loop is winding down
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            try:
+                self._send({"op": "heartbeat"})
+            except ClusterError:
+                break  # socket is gone; the read loop is winding down too
+
+    def _send(self, message: dict) -> None:
+        with self._write_lock:
+            if self._wfile is None:
+                raise ClusterError("worker is not connected")
+            try:
+                self._wfile.write(dump_message(message))
+                self._wfile.flush()
+            except (OSError, ValueError) as exc:
+                raise ClusterError(
+                    f"connection to coordinator lost: {exc}"
+                ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        host, port = self.address
+        return (f"ClusterWorkerAgent({host}:{port}, name={self.name!r}, "
+                f"capacity={self.capacity})")

@@ -53,3 +53,7 @@ class ScenarioError(ReproError):
 class ServiceError(ReproError):
     """The sweep service protocol was violated or a peer went away."""
 
+
+class ClusterError(ReproError):
+    """The cluster fabric lost its workers or its wire protocol was violated."""
+

@@ -15,7 +15,10 @@ Usage::
     python -m repro.experiments serve --port 7070 --backend processes \
         --cache-dir ~/.cache/repro-grid --journal ~/.cache/repro-journal.jsonl
     python -m repro.experiments submit 127.0.0.1:7070 my_grid.json --progress
-    python -m repro.experiments status 127.0.0.1:7070
+    python -m repro.experiments status 127.0.0.1:7070 --watch 5
+    python -m repro.experiments grid my_grid.json --backend cluster \
+        --cluster-local 4 --output results.jsonl
+    python -m repro.experiments worker --connect coordinator-host:7071
 
 (Installed as the ``repro-experiments`` console script as well.)
 
@@ -38,7 +41,15 @@ directory.
 ``serve`` boots the persistent sweep service (see :mod:`repro.service`):
 many clients ``submit`` grids concurrently over TCP, identical cells are
 deduplicated by content digest across clients, and ``status`` reports the
-per-client and aggregate counters.
+per-client and aggregate counters (``--watch SECS`` re-polls until
+interrupted).
+
+``--backend cluster`` (on both ``grid`` and ``serve``) fans cells out to
+a fleet of worker agents over TCP (see :mod:`repro.cluster`): an
+auto-spawned local fleet by default (``--cluster-local N``), remote
+bootstrap via ``--ssh-host``/``--ssh-cmd``, or externally launched
+``worker`` processes — ``worker --connect HOST:PORT`` is the agent that
+runs on every extra host.
 """
 
 from __future__ import annotations
@@ -268,6 +279,12 @@ def _grid_main(argv: Sequence[str]) -> int:
                              "to stderr")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="print every outcome as a JSON array")
+    # Imported lazily (like serve/submit/status): plain grid runs should
+    # not pay for — or be able to break on — the cluster stack.
+    from repro.cluster.cli import add_cluster_arguments, \
+        cluster_backend_from_args
+
+    add_cluster_arguments(parser)
     args = parser.parse_args(argv)
 
     data = _load_json(args.file)
@@ -304,16 +321,21 @@ def _grid_main(argv: Sequence[str]) -> int:
             backend_name = "processes"
         if max_workers is None:
             max_workers = args.workers
-    factory = EXECUTION_BACKENDS.get(backend_name)
-    if max_workers is None:
-        backend = factory()
+    if backend_name == "cluster":
+        # The cluster backend has its own topology flags; --max-workers
+        # doubles as the local fleet size for symmetry with the pools.
+        backend = cluster_backend_from_args(args, max_workers)
     else:
-        try:
-            backend = factory(max_workers=max_workers)
-        except TypeError:
-            raise ScenarioError(
-                f"backend {backend_name!r} does not take --max-workers"
-            ) from None
+        factory = EXECUTION_BACKENDS.get(backend_name)
+        if max_workers is None:
+            backend = factory()
+        else:
+            try:
+                backend = factory(max_workers=max_workers)
+            except TypeError:
+                raise ScenarioError(
+                    f"backend {backend_name!r} does not take --max-workers"
+                ) from None
 
     if args.resume and not args.output:
         raise ScenarioError("--resume needs --output (a file to resume from)")
@@ -327,7 +349,14 @@ def _grid_main(argv: Sequence[str]) -> int:
     session = GridSession(backend, sink, cache, timeout=args.timeout,
                           retries=args.retries, progress=progress,
                           resume=args.resume, strict=False)
-    report = session.run(scenarios)
+    try:
+        report = session.run(scenarios)
+    finally:
+        # The cluster backend owns subprocesses and a listening port;
+        # release them as soon as the grid is done.
+        close = getattr(backend, "close", None)
+        if callable(close):
+            close()
 
     results = report.results()
     errors = report.cell_errors()
@@ -400,6 +429,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                        "submit": service_cli.submit_main,
                        "status": service_cli.status_main}[argv[0]]
             return handler(argv[1:])
+        if argv and argv[0] == "worker":
+            # Lazy for the same reason: the cluster stack rides along
+            # only when a worker agent is actually being started.
+            from repro.cluster.cli import worker_main
+
+            return worker_main(argv[1:])
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -408,15 +443,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate the figures of the PPA paper (ICDE 2016), "
                     "run declarative scenarios ('scenario'/'grid'/'cache' "
-                    "subcommands), or run the sweep service "
-                    "('serve'/'submit'/'status').",
+                    "subcommands), run the sweep service "
+                    "('serve'/'submit'/'status'), or serve as a cluster "
+                    "worker ('worker').",
     )
     parser.add_argument("figures", nargs="+",
                         choices=sorted(RUNNERS) + ["all"],
                         metavar="figure",
                         help="figures to regenerate (%(choices)s), or the "
                              "'scenario'/'grid'/'cache'/'serve'/'submit'/"
-                             "'status' subcommands",
+                             "'status'/'worker' subcommands",
     )
     parser.add_argument("--fast", action="store_true",
                         help="reduced grids/durations for a quick pass")

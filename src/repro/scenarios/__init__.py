@@ -28,10 +28,11 @@ in with a ``register()`` decorator without touching the core:
   ``"active-standby"``), selected per scenario via the ``recovery`` field;
 * :data:`EXECUTION_BACKENDS` — how grids execute (``"serial"``,
   ``"threads"``, ``"processes"`` with work stealing, per-scenario timeouts
-  and retry-on-worker-death);
+  and retry-on-worker-death, ``"cluster"`` across worker agents on many
+  hosts — see :mod:`repro.cluster`);
 * :data:`RESULT_SINKS` — where outcomes go (``"memory"``, ``"jsonl"``,
-  ``"sqlite"``), streamed incrementally so huge grids never materialise one
-  giant list.
+  ``"sqlite"``, ``"parquet"``), streamed incrementally so huge grids never
+  materialise one giant list.
 
 :func:`run_grid` expands parameter grids over a base scenario and executes
 them through a :class:`GridSession`, which can also consult a
@@ -92,6 +93,7 @@ from repro.scenarios.sinks import (
     RESULT_SINKS,
     JsonlSink,
     MemorySink,
+    ParquetSink,
     ResultSink,
     SqliteSink,
     resolve_sink,
@@ -122,6 +124,7 @@ __all__ = [
     "NullPlanner",
     "OperatorDef",
     "PLANNERS",
+    "ParquetSink",
     "ProcessBackend",
     "ProgressEvent",
     "RECOVERY_SCHEMES",

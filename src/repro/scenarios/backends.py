@@ -14,10 +14,12 @@ accepted by the session, which then falls back to ``CellError.attempts``.
 
 Backends are registry-backed like planners and workloads
 (:data:`EXECUTION_BACKENDS`): ``"serial"`` runs in-process, ``"threads"``
-fans out over a thread pool, and ``"processes"`` over a
+fans out over a thread pool, ``"processes"`` over a
 ``ProcessPoolExecutor`` with work stealing (a sliding submission window —
 each free worker picks up the next pending cell), per-scenario timeouts and
-retry-once semantics when a worker process dies.
+retry-once semantics when a worker process dies, and ``"cluster"`` over a
+fleet of (possibly remote) worker agents speaking NDJSON over TCP — see
+:mod:`repro.cluster`, loaded lazily so the scenario layer stays light.
 
 Timeout semantics differ by necessity: the serial backend cannot preempt a
 cell, so it flags the overrun after the fact; the pool backends abandon the
@@ -432,11 +434,23 @@ class ProcessBackend(_PoolBackend):
                 pass
 
 
+def _make_cluster_backend(**kwargs: Any) -> ExecutionBackend:
+    """Factory for the ``"cluster"`` backend (multi-host worker fabric).
+
+    Imported lazily so the scenario layer never pays for (or breaks on)
+    the cluster stack; see :mod:`repro.cluster`.
+    """
+    from repro.cluster.backend import ClusterBackend
+
+    return ClusterBackend(**kwargs)
+
+
 #: Execution-backend factories: ``fn() -> ExecutionBackend``.
 EXECUTION_BACKENDS: Registry = Registry("execution backend")
 EXECUTION_BACKENDS.register("serial")(SerialBackend)
 EXECUTION_BACKENDS.register("threads")(ThreadBackend)
 EXECUTION_BACKENDS.register("processes")(ProcessBackend)
+EXECUTION_BACKENDS.register("cluster")(_make_cluster_backend)
 
 
 def resolve_backend(spec: "str | ExecutionBackend | None") -> ExecutionBackend:

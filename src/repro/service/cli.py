@@ -22,6 +22,7 @@ import argparse
 import json
 import signal
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
@@ -77,11 +78,20 @@ def serve_main(argv: Sequence[str]) -> int:
     parser.add_argument("--port-file", default=None, metavar="PATH",
                         help="write 'host port' here once bound (for "
                              "scripts that need the OS-assigned port)")
+    # Lazy, like the route in repro.experiments.cli: only a serve that
+    # can pick --backend cluster should load the cluster stack.
+    from repro.cluster.cli import add_cluster_arguments, \
+        cluster_backend_from_args
+
+    add_cluster_arguments(parser)
     args = parser.parse_args(argv)
 
+    if args.backend == "cluster":
+        backend = cluster_backend_from_args(args, args.max_workers)
+    else:
+        backend = _build_backend(args.backend, args.max_workers)
     server = SweepServer(args.host, args.port,
-                         backend=_build_backend(args.backend,
-                                                args.max_workers),
+                         backend=backend,
                          cache=args.cache_dir, journal=args.journal,
                          timeout=args.timeout, retries=args.retries,
                          batch_cells=args.batch_cells)
@@ -205,22 +215,11 @@ def submit_main(argv: Sequence[str]) -> int:
         return 1 if tally.get("errors") else 0
 
 
-def status_main(argv: Sequence[str]) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments status",
-        description="Print a running sweep server's counters and queues.",
-    )
-    parser.add_argument("address", help="server address, host:port")
-    parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="print the raw status document")
-    args = parser.parse_args(argv)
-
-    with SweepClient(args.address, client_id="status") as client:
-        status = client.status()
-    if args.as_json:
+def _print_status(status: dict, *, as_json: bool) -> None:
+    if as_json:
         print(json.dumps({k: v for k, v in status.items() if k != "type"},
                          indent=2, sort_keys=True))
-        return 0
+        return
     totals = status["totals"]
     print(f"queued {status['queued']}, inflight {status['inflight']}, "
           f"active jobs {status['active_jobs']}"
@@ -236,4 +235,34 @@ def status_main(argv: Sequence[str]) -> int:
               f"{counters['deduped']} deduped, {counters['failed']} failed, "
               f"{counters['retried']} retried, "
               f"{counters['resumed']} resumed")
+
+
+def status_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments status",
+        description="Print a running sweep server's counters and queues.",
+    )
+    parser.add_argument("address", help="server address, host:port")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the raw status document")
+    parser.add_argument("--watch", type=float, default=None, metavar="SECS",
+                        help="re-poll and reprint every SECS seconds until "
+                             "interrupted (Ctrl-C exits cleanly)")
+    args = parser.parse_args(argv)
+    if args.watch is not None and args.watch <= 0:
+        raise ServiceError(f"--watch needs a positive interval, got "
+                           f"{args.watch:g}")
+
+    with SweepClient(args.address, client_id="status") as client:
+        try:
+            while True:
+                _print_status(client.status(), as_json=args.as_json)
+                if args.watch is None:
+                    break
+                sys.stdout.flush()
+                time.sleep(args.watch)
+                if not args.as_json:
+                    print()  # blank line between polls
+        except KeyboardInterrupt:
+            pass  # a watch is ended by Ctrl-C; that is not an error
     return 0

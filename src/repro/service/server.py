@@ -263,6 +263,11 @@ class SweepServer:
         if self.journal is not None:
             self.journal.compact(self.broker.pending_scenarios())
             self.journal.close()
+        # Backends that own real resources (the cluster backend runs a
+        # coordinator port and a worker fleet) release them with the server.
+        close = getattr(self.backend, "close", None)
+        if callable(close):
+            close()
         with self._streams_lock:
             streams = list(self._streams.values())
         for stream in streams:
@@ -290,6 +295,12 @@ class SweepServer:
                 # every cell of the batch it failed to report is requeued
                 # as if never taken.
                 self.broker.requeue_inflight([d for d, _s in batch])
+        if self.journal is not None:
+            # Compact at drain time, not just at the next start's
+            # load_pending: a drained-empty server must leave an empty
+            # journal behind, and a drained-with-debt server only the
+            # still-queued rows — no stale queued/done pairs on disk.
+            self.journal.compact(self.broker.pending_scenarios())
         self._drained.set()
 
     def _publish(self, client_id: str, message: dict) -> None:

@@ -7,6 +7,7 @@ result round-trips, the rack-correlated failure model and the deprecated
 ``workers=`` shim.
 """
 
+import importlib.util
 import json
 import os
 import time
@@ -20,6 +21,7 @@ from repro.scenarios import (
     RESULT_SINKS,
     CellError,
     EdgeDef,
+    ExecutionBackend,
     FailureSpec,
     GridSession,
     JsonlSink,
@@ -906,3 +908,83 @@ class TestCacheConcurrency:
         cache.put(digest, result)
         assert digest in cache
         assert cache.get(digest) is not None
+
+
+# ----------------------------------------------------------------------
+class _LegacyPairBackend(ExecutionBackend):
+    """An external-style backend yielding bare ``(index, outcome)`` pairs.
+
+    Backends written against the pre-triple contract never report an
+    attempts count; the session (and the sweep dispatcher) must fall back
+    to the attempt record on the outcome itself.
+    """
+
+    name = "legacy-pairs"
+
+    def execute(self, scenarios, runner, *, timeout=None, retries=1):
+        for index, scenario in enumerate(scenarios):
+            try:
+                yield index, runner(scenario)
+            except Exception as exc:
+                yield index, CellError(scenario, "error", str(exc),
+                                       attempts=retries + 1)
+
+
+class TestLegacyPairBackends:
+    """Bare-pair backends flow through GridSession unchanged."""
+
+    def test_pairs_match_the_serial_baseline(self, tmp_path):
+        grid = tiny_grid()
+        baseline = tmp_path / "serial.jsonl"
+        GridSession("serial", sink=JsonlSink(baseline)).run(grid)
+        legacy = tmp_path / "legacy.jsonl"
+        report = GridSession(_LegacyPairBackend(),
+                             sink=JsonlSink(legacy)).run(grid)
+        assert report.errors == 0
+        assert report.retries == 0  # pairs without errors imply attempts=1
+        assert legacy.read_bytes() == baseline.read_bytes()
+
+    def test_attempts_on_the_outcome_itself_still_count(self):
+        report = GridSession(_LegacyPairBackend(), runner=failing_runner,
+                             retries=1).run([tiny_scenario()])
+        assert report.errors == 1
+        # attempts=2 rode on the CellError, so one retry surfaces.
+        assert report.retries == 1
+        assert isinstance(report.outcomes[0], CellError)
+
+
+# ----------------------------------------------------------------------
+_HAS_PYARROW = importlib.util.find_spec("pyarrow") is not None
+
+
+class TestParquetSink:
+    """The pyarrow-gated sink: registered always, usable when installed."""
+
+    def test_registered_and_extension_mapped(self):
+        assert "parquet" in RESULT_SINKS.names()
+
+    @pytest.mark.skipif(_HAS_PYARROW, reason="pyarrow is installed")
+    def test_missing_pyarrow_fails_with_actionable_error(self, tmp_path):
+        with pytest.raises(ScenarioError, match="pyarrow"):
+            RESULT_SINKS.get("parquet")(tmp_path / "x.parquet")
+        with pytest.raises(ScenarioError) as excinfo:
+            sink_for_path(tmp_path / "x.parquet")
+        # The error names both the missing dependency and a way out.
+        assert "pip install pyarrow" in str(excinfo.value)
+        assert "jsonl" in str(excinfo.value)
+
+    @pytest.mark.skipif(not _HAS_PYARROW, reason="pyarrow not installed")
+    def test_round_trips_a_grid(self, tmp_path):
+        pytest.importorskip("pyarrow")
+        from repro.scenarios import ParquetSink
+
+        grid = tiny_grid()
+        baseline = GridSession("serial").run(grid)
+        path = tmp_path / "grid.parquet"
+        sink = sink_for_path(path)
+        assert isinstance(sink, ParquetSink)
+        report = GridSession("serial", sink=sink).run(grid)
+        assert report.errors == 0
+        loaded = ParquetSink.load(path)
+        assert [r.to_dict() for r in loaded] == \
+            [r.to_dict() for r in baseline.results()]

@@ -436,3 +436,82 @@ class TestServerEndToEnd:
             server.stop()
         assert reply["type"] == "error"
         assert "hello" in reply["message"]
+
+
+# ----------------------------------------------------------------------
+class TestDrainCompactsJournal:
+    def test_journal_on_disk_is_compacted_at_drain_time(self, tmp_path):
+        """The dispatcher compacts when it winds down — before stop()."""
+        import json
+
+        journal_path = tmp_path / "journal.jsonl"
+        server = SweepServer(journal=SweepJournal(journal_path),
+                             runner=slow_runner, batch_cells=1).start()
+        grid = [cell(70 + i) for i in range(4)]
+        events = []
+        with SweepClient(server.address, client_id="gail") as client:
+            client.submit(grid)
+            deadline = time.monotonic() + 30.0
+            while not events:
+                client._pump()
+                events = [e for state in client._jobs.values()
+                          for e in state.events]
+                assert time.monotonic() < deadline
+            server.drain()
+            assert server.wait_drained(30.0)
+        try:
+            # stop() has not run, yet the file already holds only queued
+            # rows for the still-pending cells — no stale queued/done pairs.
+            lines = [json.loads(line) for line
+                     in journal_path.read_text().splitlines()]
+            assert lines, "a drained-with-debt server must keep its queue"
+            assert all(line["event"] == "queued" for line in lines)
+            assert len(lines) == server.broker.status()["queued"]
+        finally:
+            server.stop()
+
+    def test_drained_empty_server_leaves_an_empty_journal(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        server = SweepServer(journal=SweepJournal(journal_path)).start()
+        with SweepClient(server.address, client_id="hana") as client:
+            client.wait(client.submit([cell(80)]))
+            server.drain()
+            assert server.wait_drained(30.0)
+        try:
+            assert journal_path.read_text() == ""
+        finally:
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+class TestStatusWatch:
+    def test_watch_polls_until_interrupted(self, capsys, monkeypatch):
+        from repro.service import cli as service_cli
+
+        server = SweepServer().start()
+        sleeps = []
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            if len(sleeps) >= 2:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(service_cli.time, "sleep", fake_sleep)
+        try:
+            host, port = server.address
+            code = service_cli.status_main([f"{host}:{port}",
+                                            "--watch", "0.5"])
+        finally:
+            server.stop()
+        assert code == 0  # Ctrl-C ends a watch cleanly, not as an error
+        assert sleeps == [0.5, 0.5]
+        out = capsys.readouterr().out
+        assert out.count("totals:") == 2  # one status block per poll
+
+    def test_watch_rejects_non_positive_intervals(self):
+        from repro.service import cli as service_cli
+
+        with pytest.raises(ServiceError, match="positive"):
+            service_cli.status_main(["127.0.0.1:1", "--watch", "0"])
+        with pytest.raises(ServiceError, match="positive"):
+            service_cli.status_main(["127.0.0.1:1", "--watch", "-2"])
