@@ -1,0 +1,44 @@
+"""Deterministic chaos-injection harness for the cluster fabric.
+
+The harness answers one question: *does the crash-safe fabric actually
+produce byte-identical results under faults?*  It drives a normal
+:class:`~repro.cluster.backend.ClusterBackend` grid while injecting
+faults from a seeded, declarative :class:`ChaosSchedule`:
+
+* **process faults** — kill (``SIGKILL``), pause (``SIGSTOP``) and
+  resume (``SIGCONT``) fleet workers, and crash-restart the coordinator
+  on its write-ahead journal, each at a scheduled offset;
+* **wire faults** — delay, drop or duplicate the NDJSON messages
+  between coordinator and workers, decided by a pure hash of
+  ``(seed, fault, message identity)`` so two runs with the same seed
+  inject the same faults;
+* **runner faults** — a wrapping runner that sleeps or raises inside
+  worker processes (:func:`~repro.chaos.inject.chaos_runner`).
+
+Everything injected lands in a :class:`~repro.chaos.inject.FaultLog`
+whose canonical form is comparable across runs — the determinism tests
+assert two identical seeds produce identical logs, and the end-to-end
+tests assert the surviving grid is digest-identical to a serial run.
+
+Entry points: :func:`~repro.chaos.inject.run_chaos` (library) and
+``repro-experiments chaos`` (CLI, :mod:`repro.chaos.cli`).
+"""
+
+from repro.chaos.inject import (
+    ChaosController,
+    FaultLog,
+    WireFaults,
+    chaos_runner,
+    run_chaos,
+)
+from repro.chaos.schedule import ChaosEvent, ChaosSchedule
+
+__all__ = [
+    "ChaosController",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "FaultLog",
+    "WireFaults",
+    "chaos_runner",
+    "run_chaos",
+]

@@ -35,6 +35,27 @@ reports a ``"worker-death"`` :class:`~repro.scenarios.backends.CellError`
 whose attempt count surfaces as ``GridReport.retries``.  A cluster with
 *zero* reachable workers fails loudly (:class:`ClusterError`) after
 ``startup_timeout`` rather than hanging a grid forever.
+
+Resilience knobs (all optional):
+
+* ``journal`` — a path (or
+  :class:`~repro.cluster.journal.LedgerJournal`) making the ledger
+  crash-safe: a coordinator killed mid-grid restarts on the same
+  journal, re-admits unfinished cells and finishes the batch;
+  re-submitting the identical grid adopts the journal's remnant instead
+  of recomputing it.  :meth:`restart_coordinator` is the in-process
+  crash-restart (used by the chaos harness).
+* ``respawn`` / ``worker_reconnect`` — the fleets' self-healing: replace
+  up to N dead workers, and spawn workers that redial a restarted
+  coordinator for ``worker_reconnect`` seconds (resuming their prior
+  worker id) instead of dying with the connection.
+* ``fallback`` / ``min_workers`` / ``degrade_after`` — graceful
+  degradation: when the live fleet sits below ``min_workers`` (or the
+  coordinator stays down) for ``degrade_after`` seconds mid-grid, the
+  remaining cells run on the in-process ``fallback`` backend
+  (``"processes"`` by default; ``None`` restores fail-hard) and the
+  affected positions surface as ``GridReport.degraded`` via
+  :attr:`ClusterBackend.degraded_positions`.
 """
 
 from __future__ import annotations
@@ -46,6 +67,7 @@ from typing import Iterator, Sequence
 
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.fleet import LocalFleet, SshFleet, WorkerFleet
+from repro.cluster.journal import LedgerJournal
 from repro.cluster.protocol import runner_to_wire
 from repro.errors import ClusterError
 from repro.scenarios.backends import ExecutionBackend, Runner
@@ -73,7 +95,14 @@ class ClusterBackend(ExecutionBackend):
                  ssh_cmd: str | None = None,
                  lease_timeout: float | None = None,
                  heartbeat_timeout: float = 10.0,
-                 startup_timeout: float = 30.0):
+                 startup_timeout: float = 30.0,
+                 journal: "LedgerJournal | str | None" = None,
+                 respawn: int = 0,
+                 worker_reconnect: float = 0.0,
+                 fallback: str | None = "processes",
+                 min_workers: int = 1,
+                 degrade_after: float | None = None,
+                 wire_faults=None):
         if local_workers is not None and local_workers < 0:
             raise ClusterError(
                 f"local_workers must be >= 0, got {local_workers}"
@@ -86,6 +115,12 @@ class ClusterBackend(ExecutionBackend):
             raise ClusterError(
                 f"lease_timeout must be > 0, got {lease_timeout}"
             )
+        if min_workers < 1:
+            raise ClusterError(f"min_workers must be >= 1, got {min_workers}")
+        if degrade_after is not None and degrade_after <= 0:
+            raise ClusterError(
+                f"degrade_after must be > 0, got {degrade_after}"
+            )
         self.host = host
         self.port = port
         self.local_workers = local_workers
@@ -95,6 +130,19 @@ class ClusterBackend(ExecutionBackend):
         self.lease_timeout = lease_timeout
         self.heartbeat_timeout = heartbeat_timeout
         self.startup_timeout = startup_timeout
+        if isinstance(journal, (str, bytes)) or hasattr(journal, "__fspath__"):
+            journal = LedgerJournal(journal)
+        self.journal = journal
+        self.respawn = respawn
+        self.worker_reconnect = worker_reconnect
+        self.fallback = fallback
+        self.min_workers = min_workers
+        self.degrade_after = degrade_after
+        self.wire_faults = wire_faults
+        #: Grid positions of the last ``execute`` that ran on the
+        #: fallback backend after a mid-grid degradation (see
+        #: ``GridReport.degraded``); empty when the cluster did it all.
+        self.degraded_positions: tuple[int, ...] = ()
         self._coordinator: ClusterCoordinator | None = None
         self._fleets: list[WorkerFleet] = []
         self._grid_lock = threading.Lock()
@@ -118,18 +166,23 @@ class ClusterBackend(ExecutionBackend):
                 return self._coordinator
             coordinator = ClusterCoordinator(
                 self.host, self.port,
-                heartbeat_timeout=self.heartbeat_timeout).start()
+                heartbeat_timeout=self.heartbeat_timeout,
+                journal=self.journal,
+                wire_faults=self.wire_faults).start()
             fleets: list[WorkerFleet] = []
             try:
                 n_local = self._effective_local_workers()
                 if n_local:
                     fleets.append(LocalFleet(
                         coordinator.address, n_local,
-                        capacity=self.worker_capacity).start())
+                        capacity=self.worker_capacity,
+                        respawn=self.respawn,
+                        reconnect=self.worker_reconnect).start())
                 if self.ssh_hosts:
                     fleets.append(SshFleet(
                         (self.host, coordinator.address[1]), self.ssh_hosts,
-                        ssh_cmd=self.ssh_cmd).start())
+                        ssh_cmd=self.ssh_cmd,
+                        respawn=self.respawn).start())
             except Exception:
                 for fleet in fleets:
                     fleet.terminate()
@@ -139,6 +192,36 @@ class ClusterBackend(ExecutionBackend):
             self._fleets = fleets
             atexit.register(self.close)
             return coordinator
+
+    def restart_coordinator(self) -> ClusterCoordinator:
+        """Crash the coordinator and raise a successor on the same port.
+
+        The old coordinator dies abruptly (no ``shutdown`` broadcast —
+        workers see a dropped socket, exactly like a SIGKILL) and the
+        successor rebinds the same address with the same journal, so it
+        replays the WAL and the surviving, self-healing workers redial
+        it and resume their ids.  Requires a ``journal``; without one
+        the in-flight batch would silently evaporate.
+        """
+        with self._lifecycle_lock:
+            old = self._coordinator
+            if old is None:
+                raise ClusterError("cluster is not running; nothing to "
+                                   "restart")
+            if self.journal is None:
+                raise ClusterError(
+                    "restart_coordinator needs the backend configured with "
+                    "a journal; without one the in-flight batch is lost"
+                )
+            host, port = old.address
+            old.crash()
+            successor = ClusterCoordinator(
+                host, port,
+                heartbeat_timeout=self.heartbeat_timeout,
+                journal=self.journal,
+                wire_faults=self.wire_faults).start()
+            self._coordinator = successor
+            return successor
 
     def close(self) -> None:
         """Shut the fleet and coordinator down (restartable afterwards)."""
@@ -166,35 +249,90 @@ class ClusterBackend(ExecutionBackend):
     def execute(self, scenarios: Sequence[Scenario], runner: Runner, *,
                 timeout: float | None = None,
                 retries: int = 1) -> Iterator[tuple[int, object, int]]:
-        """Yield ``(index, outcome, attempts)`` triples, completion order."""
+        """Yield ``(index, outcome, attempts)`` triples, completion order.
+
+        Coordinator restarts mid-grid are transparent: the loop follows
+        the live coordinator, and the ``seen`` index filter swallows the
+        duplicate outcomes a journal replay may re-emit (first completion
+        wins, even across a restart).  When the cluster degrades past
+        recovery *and* a ``fallback`` backend is configured, the
+        remaining cells run in-process and their positions land in
+        :attr:`degraded_positions`.
+        """
         scenarios = list(scenarios)
         if not scenarios:
             return
         runner_spec = runner_to_wire(runner)
         with self._grid_lock:  # one grid at a time through the ledger
+            self.degraded_positions = ()
             coordinator = self._ensure_started()
             self._await_workers(coordinator)
             lease = timeout if timeout is not None else self.lease_timeout
             coordinator.submit(scenarios, runner=runner_spec,
                                timeout=lease, retries=retries)
-            done = 0
+            seen: set[int] = set()
+            degraded = False
+            short_since: float | None = None
             try:
-                while done < len(scenarios):
+                while len(seen) < len(scenarios):
+                    # Follow a chaos/ops restart to the live coordinator.
+                    coordinator = self._coordinator or coordinator
                     item = coordinator.ledger.next_outcome(timeout=self._TICK)
                     if item is None:
-                        self._check_health(coordinator)
+                        verdict, short_since = self._check_health(
+                            coordinator, short_since)
+                        if verdict == "degrade":
+                            degraded = True
+                            break
                         continue
-                    done += 1
+                    if item[0] in seen:
+                        continue  # journal replay re-emitted it; first won
+                    seen.add(item[0])
                     yield item
             finally:
-                if done < len(scenarios):
+                if len(seen) < len(scenarios) and not degraded:
                     # The consumer bailed (or health checking raised):
                     # clear the batch so the next grid starts clean.
-                    coordinator.ledger.abandon()
+                    live = self._coordinator or coordinator
+                    live.ledger.abandon()
+            if degraded:
+                yield from self._execute_degraded(
+                    coordinator, scenarios, runner, seen,
+                    timeout=timeout, retries=retries)
+
+    def _execute_degraded(self, coordinator: ClusterCoordinator,
+                          scenarios: list[Scenario], runner: Runner,
+                          seen: set[int], *, timeout: float | None,
+                          retries: int) -> Iterator[tuple[int, object, int]]:
+        """Finish the grid's remaining cells on the in-process fallback."""
+        from repro.scenarios.backends import resolve_backend
+
+        try:
+            coordinator.ledger.abandon()
+        except Exception:  # pragma: no cover - crashed coordinator
+            pass
+        remaining = [(index, scenario)
+                     for index, scenario in enumerate(scenarios)
+                     if index not in seen]
+        self.degraded_positions = tuple(index for index, _ in remaining)
+        fallback = resolve_backend(self.fallback)
+        try:
+            for sub_index, outcome, attempts in fallback.execute(
+                    [scenario for _, scenario in remaining], runner,
+                    timeout=timeout, retries=retries):
+                yield remaining[sub_index][0], outcome, attempts
+        finally:
+            close = getattr(fallback, "close", None)
+            if callable(close):
+                close()
 
     # -- health ----------------------------------------------------------
     def _await_workers(self, coordinator: ClusterCoordinator) -> None:
-        """Block until at least one worker registered (or fail loudly)."""
+        """Block until at least one worker registered (or fail loudly).
+
+        Startup stays loud even when a fallback is configured: a cluster
+        that *never* had a worker is a misconfiguration, not an outage.
+        """
         deadline = time.monotonic() + self.startup_timeout
         while coordinator.worker_count() == 0:
             self._check_fleet_alive()
@@ -208,18 +346,50 @@ class ClusterBackend(ExecutionBackend):
                 )
             time.sleep(0.05)
 
-    def _check_health(self, coordinator: ClusterCoordinator) -> None:
-        """Raise when the grid can no longer make progress."""
-        if coordinator.worker_count() > 0:
-            return
-        self._check_fleet_alive()
-        without = coordinator.ledger.seconds_without_workers()
-        if without > self.startup_timeout:
+    def _degrade_window(self) -> float:
+        return (self.degrade_after if self.degrade_after is not None
+                else self.startup_timeout)
+
+    def _check_health(self, coordinator: ClusterCoordinator,
+                      short_since: float | None) \
+            -> tuple[str, float | None]:
+        """One mid-grid health sweep.
+
+        Returns ``("ok", short_since)`` to keep waiting or
+        ``("degrade", ...)`` to hand the rest of the batch to the
+        fallback backend; raises :class:`ClusterError` when the grid is
+        stuck and no fallback is configured.  ``short_since`` threads
+        the caller's below-the-floor timer between sweeps.
+        """
+        for fleet in self._fleets:
+            fleet.maintain()
+        now = time.monotonic()
+        alive = coordinator.worker_count()
+        coordinator_down = coordinator._stopping.is_set() \
+            and self._coordinator is coordinator
+        if alive >= self.min_workers and not coordinator_down:
+            return "ok", None
+        if short_since is None:
+            short_since = now
+        try:
+            if alive == 0 or coordinator_down:
+                self._check_fleet_alive()
+        except ClusterError:
+            # The whole fleet is gone and nothing will respawn it.
+            if self.fallback is not None:
+                return "degrade", short_since
+            raise
+        if now - short_since <= self._degrade_window():
+            return "ok", short_since
+        if self.fallback is not None:
+            return "degrade", short_since
+        if alive == 0:
             raise ClusterError(
                 f"every cluster worker disconnected and none returned "
-                f"within {self.startup_timeout:g}s; "
+                f"within {self._degrade_window():g}s; "
                 f"{coordinator.ledger.outstanding()} cells are stranded"
             )
+        return "ok", short_since  # below the floor, but fail-hard mode
 
     def _check_fleet_alive(self) -> None:
         """Fail fast when the backend's own fleet is entirely dead."""
@@ -227,6 +397,8 @@ class ClusterBackend(ExecutionBackend):
             return
         if any(fleet.alive() for fleet in self._fleets):
             return
+        if any(fleet.respawns_left for fleet in self._fleets):
+            return  # maintain() will raise replacements next sweep
         raise ClusterError(
             "every spawned cluster worker process has exited; check worker "
             "stderr above for the crash (runner import failure, bad "

@@ -20,6 +20,7 @@ from typing import Sequence
 
 from repro.cluster.backend import ClusterBackend
 from repro.cluster.worker import ClusterWorkerAgent
+from repro.resilience import RetryPolicy
 
 
 def worker_main(argv: Sequence[str]) -> int:
@@ -41,11 +42,22 @@ def worker_main(argv: Sequence[str]) -> int:
     parser.add_argument("--heartbeat", type=float, default=1.0, metavar="S",
                         help="liveness beacon interval in seconds "
                              "(default 1.0)")
+    parser.add_argument("--reconnect", type=float, default=0.0, metavar="S",
+                        help="after an unexpected connection drop, keep "
+                             "redialling the coordinator for S seconds "
+                             "(exponential backoff with jitter), resuming "
+                             "the prior worker id on success; 0 = exit "
+                             "immediately (default)")
     args = parser.parse_args(argv)
 
+    reconnect = None
+    if args.reconnect and args.reconnect > 0:
+        reconnect = RetryPolicy(max_attempts=None, base_delay=0.1,
+                                max_delay=2.0, deadline=args.reconnect)
     agent = ClusterWorkerAgent(args.connect, name=args.name,
                                capacity=args.capacity,
-                               heartbeat_interval=args.heartbeat)
+                               heartbeat_interval=args.heartbeat,
+                               reconnect=reconnect)
     return agent.run()
 
 
@@ -77,6 +89,33 @@ def add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
                        help="per-cell lease deadline; a hung worker "
                             "forfeits the cell when it expires (default: "
                             "none — rely on heartbeats)")
+    group.add_argument("--cluster-journal", default=None, metavar="PATH",
+                       help="coordinator write-ahead ledger; a coordinator "
+                            "restarted on the same journal replays it and "
+                            "finishes the interrupted grid (default: none)")
+    group.add_argument("--cluster-respawn", type=int, default=0, metavar="N",
+                       help="replace up to N crashed fleet workers over the "
+                            "run (default 0 = never respawn)")
+    group.add_argument("--worker-reconnect", type=float, default=0.0,
+                       metavar="S",
+                       help="spawned workers redial a dropped coordinator "
+                            "connection for S seconds before giving up "
+                            "(default 0 = exit on first drop)")
+    group.add_argument("--cluster-fallback", default="processes",
+                       metavar="BACKEND",
+                       help="in-process backend that finishes the grid when "
+                            "the fleet degrades below --cluster-min-workers "
+                            "(default: processes; 'none' disables fallback "
+                            "and fails loudly instead)")
+    group.add_argument("--cluster-min-workers", type=int, default=1,
+                       metavar="N",
+                       help="live workers required mid-grid before the "
+                            "backend degrades to the fallback (default 1)")
+    group.add_argument("--cluster-degrade-after", type=float, default=None,
+                       metavar="S",
+                       help="how long the fleet may stay below the floor "
+                            "before degrading (default: the startup "
+                            "timeout)")
 
 
 def cluster_backend_from_args(args: argparse.Namespace,
@@ -91,9 +130,18 @@ def cluster_backend_from_args(args: argparse.Namespace,
     local = args.cluster_local
     if local is None and max_workers is not None:
         local = max_workers
+    fallback = args.cluster_fallback
+    if fallback in ("none", ""):
+        fallback = None
     return ClusterBackend(host=args.cluster_host, port=args.cluster_port,
                           local_workers=local,
                           worker_capacity=args.worker_capacity,
                           ssh_hosts=tuple(args.ssh_host or ()),
                           ssh_cmd=args.ssh_cmd,
-                          lease_timeout=args.lease_timeout)
+                          lease_timeout=args.lease_timeout,
+                          journal=args.cluster_journal,
+                          respawn=args.cluster_respawn,
+                          worker_reconnect=args.worker_reconnect,
+                          fallback=fallback,
+                          min_workers=args.cluster_min_workers,
+                          degrade_after=args.cluster_degrade_after)

@@ -23,10 +23,12 @@ exactly three things:
 from __future__ import annotations
 
 import queue
+import socket
 import socketserver
 import threading
 from typing import Any, Sequence
 
+from repro.cluster.journal import LedgerJournal
 from repro.cluster.ledger import CellLedger
 from repro.cluster.protocol import (
     CLUSTER_PROTOCOL_VERSION,
@@ -44,10 +46,12 @@ _CLOSE = object()
 class _WorkerStream:
     """One connected worker's outbound message queue + writer thread."""
 
-    def __init__(self, worker_id: str, wfile, connection):
+    def __init__(self, worker_id: str, wfile, connection, *,
+                 wire_faults=None):
         self.worker_id = worker_id
         self.wfile = wfile
         self.connection = connection
+        self.wire_faults = wire_faults
         self.outbound: "queue.SimpleQueue[object]" = queue.SimpleQueue()
         self.gone = threading.Event()
         self.writer = threading.Thread(target=self._write_loop,
@@ -63,8 +67,19 @@ class _WorkerStream:
         self.outbound.put(_CLOSE)
 
     def disconnect(self) -> None:
-        """Force the socket shut (unblocks the handler's read loop)."""
+        """Force the socket shut (unblocks the handler's read loop).
+
+        ``shutdown`` before ``close``: the handler's ``rfile``/``wfile``
+        still hold references to this fd, so a bare ``close()`` is
+        deferred and never sends FIN — the worker (and the handler's own
+        blocked read) would wait forever.  ``shutdown(SHUT_RDWR)`` tears
+        the connection down immediately regardless.
+        """
         self.gone.set()
+        try:
+            self.connection.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # already disconnected
         try:
             self.connection.close()
         except OSError:  # pragma: no cover - racing close
@@ -75,9 +90,16 @@ class _WorkerStream:
             message = self.outbound.get()
             if message is _CLOSE:
                 break
+            deliveries = [message]
+            if self.wire_faults is not None:
+                # Chaos injection happens here, on the per-worker writer
+                # thread, so delays never block the ledger lock.
+                deliveries = self.wire_faults.apply(
+                    "out", self.worker_id, message)
             try:
-                self.wfile.write(dump_message(message).encode("utf-8"))
-                self.wfile.flush()
+                for delivery in deliveries:
+                    self.wfile.write(dump_message(delivery).encode("utf-8"))
+                    self.wfile.flush()
             except (OSError, ValueError):
                 # Worker went away mid-write; EOF handling cleans up.
                 self.gone.set()
@@ -111,6 +133,7 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
                     if protocol != CLUSTER_PROTOCOL_VERSION:
                         self.wfile.write(dump_message(
                             {"type": "error", "op": "register",
+                             "code": "protocol-mismatch",
                              "message": f"protocol {protocol} unsupported "
                                         f"(coordinator speaks "
                                         f"{CLUSTER_PROTOCOL_VERSION})"}
@@ -123,7 +146,8 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
                         stream = coordinator._register(
                             str(message.get("worker") or "worker"),
                             int(message.get("capacity") or 1),
-                            self.wfile, self.connection)
+                            self.wfile, self.connection,
+                            resume=message.get("resume"))
                     except ClusterError as exc:
                         self.wfile.write(dump_message(
                             {"type": "error", "op": "register",
@@ -133,15 +157,21 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
                 if op == "heartbeat":
                     coordinator.ledger.heartbeat(stream.worker_id)
                 elif op == "result":
-                    try:
-                        outcome = outcome_from_wire(message.get("outcome"))
-                        cell_id = int(message.get("cell", -1))
-                    except (ServiceError, TypeError, ValueError):
-                        stream.send({"type": "error", "op": "result",
-                                     "message": "malformed result"})
-                        continue
-                    coordinator.ledger.complete(stream.worker_id, cell_id,
-                                                outcome)
+                    deliveries = [message]
+                    if coordinator.wire_faults is not None:
+                        deliveries = coordinator.wire_faults.apply(
+                            "in", stream.worker_id, message)
+                    for delivery in deliveries:
+                        try:
+                            outcome = outcome_from_wire(
+                                delivery.get("outcome"))
+                            cell_id = int(delivery.get("cell", -1))
+                        except (ServiceError, TypeError, ValueError):
+                            stream.send({"type": "error", "op": "result",
+                                         "message": "malformed result"})
+                            continue
+                        coordinator.ledger.complete(stream.worker_id,
+                                                    cell_id, outcome)
                 elif op == "bye":
                     break
                 else:
@@ -171,14 +201,28 @@ class ClusterCoordinator:
             triple = coordinator.ledger.next_outcome(timeout=0.5)
 
     ``heartbeat_timeout`` is how long a silent worker survives;
-    ``tick_interval`` is the monitor thread's sweep period.
+    ``tick_interval`` is the monitor thread's sweep period.  ``journal``
+    (a path or :class:`~repro.cluster.journal.LedgerJournal`) makes the
+    ledger crash-safe: construction replays any unfinished batch the
+    previous coordinator life left behind.  ``wire_faults`` is the chaos
+    harness's injection hook (see :mod:`repro.chaos`) — ``None`` in
+    production.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  heartbeat_timeout: float = 10.0,
-                 tick_interval: float = 0.25):
+                 tick_interval: float = 0.25,
+                 journal: "LedgerJournal | str | None" = None,
+                 wire_faults=None):
+        if isinstance(journal, (str, bytes)) or hasattr(journal, "__fspath__"):
+            journal = LedgerJournal(journal)
+        self.journal = journal
+        self.wire_faults = wire_faults
         self.ledger = CellLedger(self._publish,
-                                 heartbeat_timeout=heartbeat_timeout)
+                                 heartbeat_timeout=heartbeat_timeout,
+                                 journal=journal)
+        #: Cells re-admitted from the journal at construction (0 = clean).
+        self.restored_cells = self.ledger.restore_from_journal()
         self._streams: dict[str, _WorkerStream] = {}
         self._streams_lock = threading.Lock()
         self._issued_ids: set[str] = set()
@@ -225,6 +269,30 @@ class ClusterCoordinator:
         if self._started:
             self._tcp.shutdown()
         self._tcp.server_close()
+        if self.journal is not None:
+            self.journal.close()
+
+    def crash(self) -> None:
+        """Die like a SIGKILL: drop every socket, no goodbyes, no cleanup.
+
+        Workers see an abrupt EOF exactly as if the coordinator process
+        was killed — no ``shutdown`` broadcast, so self-healing agents
+        enter their reconnect loop.  The ledger journal file is left
+        exactly as the crash found it; a successor coordinator built on
+        the same journal path replays it and finishes the batch.
+        """
+        self._stopping.set()
+        with self._streams_lock:
+            streams = list(self._streams.values())
+            self._streams.clear()
+        for stream in streams:
+            stream.disconnect()
+            stream.close()
+        if self._started:
+            self._tcp.shutdown()
+        self._tcp.server_close()
+        if self.journal is not None:
+            self.journal.close()
 
     # -- scheduling façade ----------------------------------------------
     def submit(self, scenarios: Sequence[Scenario], *,
@@ -258,19 +326,33 @@ class ClusterCoordinator:
             stream.send(message)
 
     def _register(self, requested: str, capacity: int, wfile,
-                  connection) -> _WorkerStream:
+                  connection, *, resume: object = None) -> _WorkerStream:
         # The stream must be routable *before* the ledger admits the
         # worker — leases are published the moment registration lands —
         # so ids are uniquified here (against every id ever issued, in
         # case a dead worker's ledger entry is still being torn down)
-        # and the dict insert happens first.
+        # and the dict insert happens first.  A ``resume`` id reclaims a
+        # previously issued identity: the agent survived a dropped
+        # connection (or outlived a crashed coordinator) and its
+        # in-flight work is still addressed to that id.
         with self._streams_lock:
-            worker_id = requested
-            if worker_id in self._issued_ids:
-                self._worker_seq += 1
-                worker_id = f"{requested}#{self._worker_seq}"
+            if resume and isinstance(resume, str):
+                worker_id = resume
+                stale = self._streams.get(worker_id)
+                if stale is not None:
+                    # A half-open leftover of the same worker: supersede
+                    # it.  _deregister sees it is no longer current and
+                    # leaves the ledger entry (and its leases) alone.
+                    stale.disconnect()
+                    stale.close()
+            else:
+                worker_id = requested
+                if worker_id in self._issued_ids:
+                    self._worker_seq += 1
+                    worker_id = f"{requested}#{self._worker_seq}"
             self._issued_ids.add(worker_id)
-            stream = _WorkerStream(worker_id, wfile, connection)
+            stream = _WorkerStream(worker_id, wfile, connection,
+                                   wire_faults=self.wire_faults)
             self._streams[worker_id] = stream
         # Welcome is enqueued before the ledger admits the worker: the
         # ledger leases queued cells the instant registration lands, and
@@ -278,7 +360,8 @@ class ClusterCoordinator:
         stream.send({"type": "welcome", "worker": worker_id,
                      "protocol": CLUSTER_PROTOCOL_VERSION})
         try:
-            self.ledger.register_worker(worker_id, capacity)
+            self.ledger.register_worker(worker_id, capacity,
+                                        resume=bool(resume))
         except ClusterError:
             with self._streams_lock:
                 if self._streams.get(worker_id) is stream:
@@ -292,6 +375,11 @@ class ClusterCoordinator:
             current = self._streams.get(stream.worker_id)
             if current is stream:
                 del self._streams[stream.worker_id]
+            else:
+                # Superseded by a resumed connection (or already torn
+                # down): the id's ledger state belongs to someone else.
+                stream.close()
+                return
         self.ledger.remove_worker(stream.worker_id,
                                   reason="connection closed")
         stream.close()

@@ -19,15 +19,23 @@ Two bootstrap strategies, one tiny interface (``start`` / ``alive`` /
   coordinator's address substituted in can launch a worker (pdsh, a
   container runtime, a batch scheduler...).
 
-Fleets never restart dead workers: a worker death is a *signal* the
-coordinator handles by requeueing leases, and silently respawning would
-mask systematic crashes (an OOM-looping cell would thrash forever).
+By default fleets never restart dead workers: a worker death is a
+*signal* the coordinator handles by requeueing leases, and silently
+respawning would mask systematic crashes (an OOM-looping cell would
+thrash forever).  The opt-in ``respawn=N`` budget relaxes that for
+deployments that expect attrition (and for the chaos harness, which
+kills workers on purpose): :meth:`WorkerFleet.maintain` replaces dead
+slots up to N times total, then reverts to the default stance.  A
+*paused* slot (``SIGSTOP``, via :meth:`WorkerFleet.pause`) is alive, not
+dead — maintain never replaces it, so a later :meth:`WorkerFleet.resume`
+cannot produce a duplicate worker.
 """
 
 from __future__ import annotations
 
 import os
 import shlex
+import signal
 import subprocess
 import sys
 from typing import Sequence
@@ -51,12 +59,28 @@ def _worker_env() -> dict[str, str]:
 
 
 class WorkerFleet:
-    """Common accounting over a list of worker ``Popen`` handles."""
+    """Common accounting over a list of worker ``Popen`` handles.
 
-    def __init__(self) -> None:
+    ``respawn`` is the fleet-wide replacement budget: how many dead
+    workers :meth:`maintain` may replace over the fleet's lifetime
+    (0 = never, the default).
+    """
+
+    def __init__(self, respawn: int = 0) -> None:
+        if respawn < 0:
+            raise ClusterError(f"respawn must be >= 0, got {respawn}")
         self.processes: list[subprocess.Popen] = []
+        self.respawn = respawn
+        #: How much of the respawn budget is left.
+        self.respawns_left = respawn
+        #: Slot indices currently paused with SIGSTOP.
+        self._paused: set[int] = set()
 
     def start(self) -> "WorkerFleet":
+        raise NotImplementedError
+
+    def _spawn(self, slot: int) -> subprocess.Popen:
+        """Launch the process for one slot (subclasses implement)."""
         raise NotImplementedError
 
     def alive(self) -> int:
@@ -66,8 +90,69 @@ class WorkerFleet:
     def pids(self) -> list[int]:
         return [p.pid for p in self.processes]
 
+    def maintain(self) -> int:
+        """Replace dead workers while the respawn budget lasts.
+
+        Returns how many were respawned on this sweep.  Paused slots
+        are skipped — SIGSTOP makes a process unresponsive, not dead.
+        Call this periodically (the cluster backend's health check
+        does) or after a chaos :meth:`kill`.
+        """
+        respawned = 0
+        for slot, process in enumerate(self.processes):
+            if self.respawns_left <= 0:
+                break
+            if slot in self._paused or process.poll() is None:
+                continue
+            self.processes[slot] = self._spawn(slot)
+            self.respawns_left -= 1
+            respawned += 1
+        return respawned
+
+    # -- chaos controls ---------------------------------------------------
+    def kill(self, slot: int) -> int:
+        """SIGKILL one slot's process; returns the pid it had."""
+        process = self._slot(slot)
+        pid = process.pid
+        if process.poll() is None:
+            try:
+                process.kill()
+            except OSError:  # pragma: no cover - racing natural exit
+                pass
+            process.wait()
+        return pid
+
+    def pause(self, slot: int) -> int:
+        """SIGSTOP one slot (hung-but-alive: heartbeats stop, pid lives)."""
+        process = self._slot(slot)
+        if process.poll() is None:
+            os.kill(process.pid, signal.SIGSTOP)
+            self._paused.add(slot)
+        return process.pid
+
+    def resume(self, slot: int) -> int:
+        """SIGCONT a paused slot."""
+        process = self._slot(slot)
+        if process.poll() is None and slot in self._paused:
+            os.kill(process.pid, signal.SIGCONT)
+        self._paused.discard(slot)
+        return process.pid
+
+    def _slot(self, slot: int) -> subprocess.Popen:
+        if not 0 <= slot < len(self.processes):
+            raise ClusterError(
+                f"fleet has {len(self.processes)} workers; no slot {slot}"
+            )
+        return self.processes[slot]
+
     def terminate(self, grace: float = 5.0) -> None:
         """SIGTERM every live process, then SIGKILL stragglers."""
+        for slot in list(self._paused):
+            # A stopped process cannot act on SIGTERM; wake it first.
+            try:
+                self.resume(slot)
+            except (ClusterError, OSError):  # pragma: no cover - racing
+                pass
         for process in self.processes:
             if process.poll() is None:
                 try:
@@ -95,8 +180,10 @@ class LocalFleet(WorkerFleet):
     def __init__(self, address: tuple[str, int], count: int, *,
                  capacity: int = 1,
                  heartbeat_interval: float = 1.0,
-                 name_prefix: str = "local"):
-        super().__init__()
+                 name_prefix: str = "local",
+                 respawn: int = 0,
+                 reconnect: float = 0.0):
+        super().__init__(respawn)
         if count < 1:
             raise ClusterError(f"a local fleet needs count >= 1, got {count}")
         self.address = address
@@ -104,21 +191,34 @@ class LocalFleet(WorkerFleet):
         self.capacity = capacity
         self.heartbeat_interval = heartbeat_interval
         self.name_prefix = name_prefix
+        #: Passed through as the workers' ``--reconnect`` window (seconds;
+        #: 0 = workers die with their connection, the default).
+        self.reconnect = reconnect
+        self._spawned = 0
+
+    def _spawn(self, slot: int) -> subprocess.Popen:
+        host, port = self.address
+        self._spawned += 1
+        command = [
+            sys.executable, "-m", "repro.experiments", "worker",
+            "--connect", f"{host}:{port}",
+            "--capacity", str(self.capacity),
+            "--heartbeat", str(self.heartbeat_interval),
+            # Respawned slots get a fresh generation suffix so the
+            # coordinator never sees two registrations collide.
+            "--name", f"{self.name_prefix}-{slot}"
+                      + (f"r{self._spawned}" if self._spawned > self.count
+                         else ""),
+        ]
+        if self.reconnect and self.reconnect > 0:
+            command += ["--reconnect", str(self.reconnect)]
+        return subprocess.Popen(command, env=_worker_env(),
+                                stdout=subprocess.DEVNULL)
 
     def start(self) -> "LocalFleet":
         """Spawn the workers (stderr inherited, so crashes are visible)."""
-        host, port = self.address
-        env = _worker_env()
         for i in range(self.count):
-            command = [
-                sys.executable, "-m", "repro.experiments", "worker",
-                "--connect", f"{host}:{port}",
-                "--capacity", str(self.capacity),
-                "--heartbeat", str(self.heartbeat_interval),
-                "--name", f"{self.name_prefix}-{i}",
-            ]
-            self.processes.append(subprocess.Popen(
-                command, env=env, stdout=subprocess.DEVNULL))
+            self.processes.append(self._spawn(i))
         return self
 
 
@@ -132,8 +232,9 @@ class SshFleet(WorkerFleet):
     """
 
     def __init__(self, address: tuple[str, int], hosts: Sequence[str], *,
-                 ssh_cmd: str | None = None):
-        super().__init__()
+                 ssh_cmd: str | None = None,
+                 respawn: int = 0):
+        super().__init__(respawn)
         if not hosts:
             raise ClusterError("an ssh fleet needs at least one host")
         self.address = address
@@ -156,9 +257,12 @@ class SshFleet(WorkerFleet):
                                f"{self.ssh_cmd!r}")
         return argv
 
+    def _spawn(self, slot: int) -> subprocess.Popen:
+        return subprocess.Popen(self.render(self.hosts[slot]),
+                                env=_worker_env(),
+                                stdout=subprocess.DEVNULL)
+
     def start(self) -> "SshFleet":
-        env = _worker_env()
-        for host in self.hosts:
-            self.processes.append(subprocess.Popen(
-                self.render(host), env=env, stdout=subprocess.DEVNULL))
+        for slot in range(len(self.hosts)):
+            self.processes.append(self._spawn(slot))
         return self

@@ -1,0 +1,212 @@
+"""The coordinator's write-ahead ledger journal: crash-safe batch state.
+
+:class:`LedgerJournal` makes the :class:`~repro.cluster.ledger.CellLedger`
+durable with the same fsync'd, torn-line-tolerant JSONL idiom as the
+sweep service's :class:`~repro.service.journal.SweepJournal`.  Four
+record shapes, one per line, flushed + fsync'd before the action they
+describe takes effect on the wire::
+
+    {"event": "batch", "runner": SPEC|null, "timeout": T|null,
+     "retries": R, "cells": [{"cell": ID, "index": I, "scenario": {...}}]}
+    {"event": "lease", "cell": ID, "worker": WID}
+    {"event": "done", "cell": ID, "index": I, "attempts": A,
+     "outcome": {"result": ...} | {"error": ...}}
+    {"event": "abandon"}
+
+``batch`` is written at admission (before any lease flows), ``lease``
+before each lease is published (so replayed attempt counts never
+under-count), and ``done`` when a completion retires a cell — carrying
+the full wire-encoded outcome, so a restarted coordinator can re-emit
+results the previous life collected but its consumer never drained.
+When the batch fully completes (or is abandoned) the file is reset, so
+an idle coordinator leaves an empty journal behind.
+
+:meth:`replay` folds the file into a :class:`LedgerReplay`: the batch
+parameters, the cells still pending (admitted minus done, with their
+lease-derived attempt counts) and the retired outcomes in completion
+order.  Duplicate ``done`` records for one cell keep the *first* —
+first-completion-wins holds across a coordinator restart exactly as it
+does within one life.  Torn or unparsable lines (a SIGKILL mid-write)
+are dropped and counted in :attr:`LedgerJournal.corrupt_records`, never
+poisoning the resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, Mapping, Sequence
+
+from repro.errors import ClusterError
+from repro.scenarios.spec import Scenario
+
+
+@dataclass
+class ReplayCell:
+    """One admitted cell as reconstructed from the journal."""
+
+    cell_id: int
+    index: int
+    scenario: Scenario
+    attempts: int = 0           #: lease records seen (true attempt count)
+    done: bool = False
+
+
+@dataclass
+class LedgerReplay:
+    """Everything :meth:`LedgerJournal.replay` recovered from disk."""
+
+    runner: str | None = None
+    timeout: float | None = None
+    retries: int = 1
+    cells: dict[int, ReplayCell] = field(default_factory=dict)
+    #: Retired ``(index, attempts, wire_outcome)`` in completion order.
+    outcomes: list[tuple[int, int, Any]] = field(default_factory=list)
+
+    @property
+    def pending(self) -> list[ReplayCell]:
+        """The admitted-but-unretired cells, in admission order."""
+        return [c for c in self.cells.values() if not c.done]
+
+    @property
+    def empty(self) -> bool:
+        return not self.cells
+
+
+class LedgerJournal:
+    """Append-only WAL for one :class:`~repro.cluster.ledger.CellLedger`."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle: IO[str] | None = None
+        #: Torn/unparsable lines skipped by the last :meth:`replay`.
+        self.corrupt_records = 0
+
+    def _file(self) -> IO[str]:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    # -- writes ----------------------------------------------------------
+    def record_batch(self, cells: Sequence[tuple[int, int, Scenario]], *,
+                     runner: str | None, timeout: float | None,
+                     retries: int) -> None:
+        """A new batch was admitted; resets the file first (one batch/WAL)."""
+        with self._lock:
+            self._reset_locked()
+            self._append_locked({
+                "event": "batch", "runner": runner, "timeout": timeout,
+                "retries": retries,
+                "cells": [{"cell": cell_id, "index": index,
+                           "scenario": scenario.to_dict()}
+                          for cell_id, index, scenario in cells],
+            })
+
+    def record_lease(self, cell_id: int, worker_id: str) -> None:
+        """A lease is about to be published (charges a replayed attempt)."""
+        with self._lock:
+            self._append_locked({"event": "lease", "cell": cell_id,
+                                 "worker": worker_id})
+
+    def record_done(self, cell_id: int, index: int, attempts: int,
+                    outcome_wire: Mapping[str, Any]) -> None:
+        """A cell retired with ``outcome_wire`` (the NDJSON envelope)."""
+        with self._lock:
+            self._append_locked({"event": "done", "cell": cell_id,
+                                 "index": index, "attempts": attempts,
+                                 "outcome": outcome_wire})
+
+    def reset(self) -> None:
+        """Truncate: the batch completed (or was abandoned); no debt left."""
+        with self._lock:
+            self._reset_locked()
+
+    def _append_locked(self, record: dict) -> None:
+        handle = self._file()
+        handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def _reset_locked(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- replay ----------------------------------------------------------
+    def replay(self) -> LedgerReplay:
+        """Fold the journal into a :class:`LedgerReplay` (no side effects).
+
+        Must run before this instance has written anything; a missing or
+        empty file replays to an empty state.
+        """
+        with self._lock:
+            if self._handle is not None:
+                raise ClusterError(
+                    "replay() must run before the journal is written to"
+                )
+            replay = LedgerReplay()
+            self.corrupt_records = 0
+            try:
+                lines = self.path.read_text(encoding="utf-8").splitlines()
+            except FileNotFoundError:
+                return replay
+            for line in lines:
+                if not line.strip():
+                    continue
+                try:
+                    self._fold(replay, json.loads(line))
+                except Exception:
+                    # A torn final line from a hard kill, or skew from an
+                    # older journal format: skip, count, carry on.
+                    self.corrupt_records += 1
+            return replay
+
+    @staticmethod
+    def _fold(replay: LedgerReplay, record: Mapping[str, Any]) -> None:
+        event = record["event"]
+        if event == "batch":
+            # A later batch record supersedes everything before it.
+            replay.runner = record.get("runner")
+            timeout = record.get("timeout")
+            replay.timeout = float(timeout) if timeout is not None else None
+            replay.retries = int(record.get("retries", 1))
+            replay.cells = {}
+            replay.outcomes = []
+            for item in record["cells"]:
+                cell = ReplayCell(int(item["cell"]), int(item["index"]),
+                                  Scenario.from_dict(item["scenario"]))
+                replay.cells[cell.cell_id] = cell
+        elif event == "lease":
+            cell = replay.cells.get(int(record["cell"]))
+            if cell is not None:
+                cell.attempts += 1
+        elif event == "done":
+            cell = replay.cells.get(int(record["cell"]))
+            if cell is None or cell.done:
+                return  # unknown cell or a duplicate: first one won
+            cell.done = True
+            replay.outcomes.append((int(record["index"]),
+                                    int(record["attempts"]),
+                                    record["outcome"]))
+        elif event == "abandon":
+            replay.cells = {}
+            replay.outcomes = []
+        else:
+            raise ClusterError(f"unknown journal event {event!r}")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"LedgerJournal({str(self.path)!r})"

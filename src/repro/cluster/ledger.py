@@ -23,6 +23,15 @@ one batch of grid cells at a time through a small state machine:
   (first completion wins); results for unknown cells — a prior batch, a
   double send — are ignored, so duplicated effort is never double
   reported.
+* **Durability** (optional): with a
+  :class:`~repro.cluster.journal.LedgerJournal` attached, batch
+  admission, every lease grant, and every completion hit an fsync'd WAL
+  *before* they take effect on the wire.  A coordinator that is
+  SIGKILLed mid-grid restarts, :meth:`restore_from_journal` re-admits
+  the unfinished cells (attempt counts intact) and re-emits completed
+  outcomes the old consumer never drained, and first-completion-wins
+  keeps holding across the restart.  A fresh :meth:`submit` of the
+  *same* batch adopts the restored state instead of recomputing it.
 
 The ledger publishes leases through a caller-supplied ``publish(worker_id,
 message)`` callback (the coordinator routes it onto the worker's outbound
@@ -38,6 +47,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.cluster.journal import LedgerJournal
+from repro.cluster.protocol import outcome_from_wire, outcome_to_wire
 from repro.errors import ClusterError
 from repro.scenarios.backends import CellError
 from repro.scenarios.spec import Scenario
@@ -72,17 +83,23 @@ class CellLedger:
 
     ``publish(worker_id, message)`` delivers a lease to a worker's stream
     and must not block.  ``heartbeat_timeout`` is how long a silent
-    worker survives before its leases requeue.
+    worker survives before its leases requeue.  ``journal`` (optional)
+    makes the ledger crash-safe — see :meth:`restore_from_journal`.
     """
 
     def __init__(self, publish: Callable[[str, Mapping[str, Any]], None], *,
-                 heartbeat_timeout: float = 10.0):
+                 heartbeat_timeout: float = 10.0,
+                 journal: LedgerJournal | None = None):
         if heartbeat_timeout <= 0:
             raise ClusterError(
                 f"heartbeat_timeout must be > 0, got {heartbeat_timeout}"
             )
         self.publish = publish
         self.heartbeat_timeout = heartbeat_timeout
+        self.journal = journal
+        #: ``{index: scenario_dict}`` of a journal-restored batch that a
+        #: matching :meth:`submit` may adopt; ``None`` otherwise.
+        self._adoptable: dict[int, dict] | None = None
         self._lock = threading.Lock()
         self._workers: dict[str, WorkerInfo] = {}
         self._rotation: deque[str] = deque()
@@ -98,22 +115,31 @@ class CellLedger:
         self._last_worker_present = time.monotonic()
 
     # -- workers ---------------------------------------------------------
-    def register_worker(self, worker_id: str, capacity: int) -> None:
+    def register_worker(self, worker_id: str, capacity: int, *,
+                        resume: bool = False) -> None:
         """Admit a worker and immediately lease queued cells to it.
 
         The caller (the coordinator) owns id uniqueness and must be able
         to route ``publish(worker_id, ...)`` *before* calling this —
-        leases can flow the moment the worker is admitted.
+        leases can flow the moment the worker is admitted.  With
+        ``resume=True`` an already-registered id is not an error: the
+        worker reconnected before its old entry was torn down, so its
+        leases are still valid — just refresh liveness and capacity.
         """
         if capacity < 1:
             raise ClusterError(f"worker capacity must be >= 1, got {capacity}")
         with self._lock:
-            if worker_id in self._workers:
-                raise ClusterError(
-                    f"worker id {worker_id!r} is already registered"
-                )
-            self._workers[worker_id] = WorkerInfo(worker_id, capacity)
-            self._rotation.append(worker_id)
+            existing = self._workers.get(worker_id)
+            if existing is not None:
+                if not resume:
+                    raise ClusterError(
+                        f"worker id {worker_id!r} is already registered"
+                    )
+                existing.capacity = capacity
+                existing.last_seen = time.monotonic()
+            else:
+                self._workers[worker_id] = WorkerInfo(worker_id, capacity)
+                self._rotation.append(worker_id)
             self._last_worker_present = time.monotonic()
             self._assign()
 
@@ -143,6 +169,42 @@ class CellLedger:
             return time.monotonic() - self._last_worker_present
 
     # -- batches ---------------------------------------------------------
+    def restore_from_journal(self) -> int:
+        """Replay the WAL: re-admit the crashed batch (pending cell count).
+
+        Unfinished cells re-queue with their original ids (so late
+        results from pre-crash workers still retire them — first
+        completion wins across the restart) and their lease-derived
+        attempt counts; already-completed outcomes are re-emitted on the
+        outcome queue for the consumer to (re-)drain.  The restored
+        batch stays *adoptable*: a subsequent :meth:`submit` of the same
+        scenarios continues it instead of starting over, while a
+        different batch discards it.
+        """
+        if self.journal is None:
+            return 0
+        replay = self.journal.replay()
+        with self._lock:
+            if replay.empty:
+                return 0
+            self._timeout = replay.timeout
+            self._retries = max(0, int(replay.retries))
+            self._runner = replay.runner
+            self._adoptable = {cell.index: cell.scenario.to_dict()
+                               for cell in replay.cells.values()}
+            for index, attempts, wire in replay.outcomes:
+                self._outcomes.put((index, outcome_from_wire(wire),
+                                    max(1, attempts)))
+            for cell in replay.pending:
+                tracked = _TrackedCell(cell.cell_id, cell.index,
+                                       cell.scenario, attempts=cell.attempts)
+                self._cells[tracked.cell_id] = tracked
+                self._queue.append(tracked.cell_id)
+            self._cell_seq = max(self._cell_seq, *replay.cells)
+            self._outstanding = len(self._cells)
+            self._assign()
+            return self._outstanding
+
     def submit(self, scenarios: Sequence[Scenario], *,
                runner: str | None = None,
                timeout: float | None = None,
@@ -151,8 +213,22 @@ class CellLedger:
 
         One batch at a time: the backend serialises grids, and stale
         results from an abandoned batch must never leak into the next.
+        A batch restored by :meth:`restore_from_journal` is *adopted*
+        when the submitted scenarios match it index-for-index (same
+        runner spec), so a rerun of a crashed grid command resumes
+        instead of recomputing; a mismatched submit discards the
+        restored remnant and starts clean.
         """
+        scenarios = list(scenarios)
         with self._lock:
+            if self._adoptable is not None:
+                if self._matches_adoptable_locked(scenarios, runner):
+                    self._adoptable = None
+                    self._timeout = timeout
+                    self._retries = max(0, int(retries))
+                    self._assign()
+                    return len(scenarios)
+                self._clear_batch_locked()
             if self._outstanding:
                 raise ClusterError(
                     f"the cluster ledger already has {self._outstanding} "
@@ -161,31 +237,52 @@ class CellLedger:
             self._timeout = timeout
             self._retries = max(0, int(retries))
             self._runner = runner
+            admitted: list[tuple[int, int, Scenario]] = []
             for index, scenario in enumerate(scenarios):
                 self._cell_seq += 1
                 cell = _TrackedCell(self._cell_seq, index, scenario)
                 self._cells[cell.cell_id] = cell
                 self._queue.append(cell.cell_id)
+                admitted.append((cell.cell_id, index, scenario))
             self._outstanding = len(self._cells)
+            if self.journal is not None:
+                self.journal.record_batch(admitted, runner=runner,
+                                          timeout=timeout,
+                                          retries=self._retries)
             self._assign()
             return self._outstanding
 
     def abandon(self) -> None:
         """Forget the current batch (a consumer gave up mid-grid)."""
         with self._lock:
-            for cell in self._cells.values():
-                if cell.state == "leased":
-                    worker = self._workers.get(cell.worker or "")
-                    if worker is not None:
-                        worker.inflight = max(0, worker.inflight - 1)
-            self._cells.clear()
-            self._queue.clear()
-            self._outstanding = 0
-            while True:  # drain stale outcomes
-                try:
-                    self._outcomes.get_nowait()
-                except queue.Empty:
-                    break
+            self._clear_batch_locked()
+
+    def _matches_adoptable_locked(self, scenarios: Sequence[Scenario],
+                                  runner: str | None) -> bool:
+        if runner != self._runner or self._adoptable is None:
+            return False
+        if len(scenarios) != len(self._adoptable):
+            return False
+        return all(self._adoptable.get(index) == scenario.to_dict()
+                   for index, scenario in enumerate(scenarios))
+
+    def _clear_batch_locked(self) -> None:
+        for cell in self._cells.values():
+            if cell.state == "leased":
+                worker = self._workers.get(cell.worker or "")
+                if worker is not None:
+                    worker.inflight = max(0, worker.inflight - 1)
+        self._cells.clear()
+        self._queue.clear()
+        self._outstanding = 0
+        self._adoptable = None
+        if self.journal is not None:
+            self.journal.reset()
+        while True:  # drain stale outcomes
+            try:
+                self._outcomes.get_nowait()
+            except queue.Empty:
+                break
 
     def complete(self, worker_id: str, cell_id: int, outcome: object) -> bool:
         """Retire a cell with a worker-reported outcome (first one wins).
@@ -217,9 +314,19 @@ class CellLedger:
             -> tuple[int, object, int] | None:
         """Pop one ``(index, outcome, attempts)`` triple, or ``None``."""
         try:
-            return self._outcomes.get(timeout=timeout)
+            item = self._outcomes.get(timeout=timeout)
         except queue.Empty:
             return None
+        if self.journal is not None:
+            with self._lock:
+                # Reset the WAL only once the batch is fully retired AND
+                # fully drained — a crash right now must still be able to
+                # re-emit every undrained outcome.
+                if not self._outstanding and not self._cells \
+                        and self._outcomes.empty():
+                    self._adoptable = None
+                    self.journal.reset()
+        return item
 
     def outstanding(self) -> int:
         with self._lock:
@@ -296,8 +403,13 @@ class CellLedger:
             cell.deadline = (time.monotonic() + self._timeout
                              if self._timeout is not None else None)
             worker.inflight += 1
+            if self.journal is not None:
+                # WAL before wire: a lease that reached a worker must be
+                # charged to the cell after a crash, never the reverse.
+                self.journal.record_lease(cell.cell_id, worker.worker_id)
             self.publish(worker.worker_id, {
                 "type": "cell", "cell": cell.cell_id, "index": cell.index,
+                "attempt": cell.attempts,
                 "scenario": cell.scenario.to_dict(), "runner": self._runner,
             })
 
@@ -330,6 +442,10 @@ class CellLedger:
     def _finish_locked(self, cell: _TrackedCell, outcome: object) -> None:
         del self._cells[cell.cell_id]
         self._outstanding -= 1
+        if self.journal is not None:
+            self.journal.record_done(cell.cell_id, cell.index,
+                                     max(1, cell.attempts),
+                                     outcome_to_wire(outcome))
         self._outcomes.put((cell.index, outcome, max(1, cell.attempts)))
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -12,7 +12,10 @@ Worker requests
 ---------------
 ``{"op": "register", "worker": NAME, "capacity": C, "protocol": 1}``
     Mandatory first message; the coordinator replies ``welcome`` with the
-    (possibly uniquified) worker id used in lease accounting.
+    (possibly uniquified) worker id used in lease accounting.  A worker
+    redialling after a connection drop adds ``"resume": PRIOR_ID`` to
+    take over its previous registration — outstanding leases stay valid
+    (its executor is still running them) instead of requeueing.
 ``{"op": "heartbeat"}``
     Periodic liveness beacon.  A worker whose heartbeats stop (and whose
     socket lingers half-open) is declared dead and its leases requeue.
@@ -27,16 +30,22 @@ Coordinator messages
 --------------------
 ``{"type": "welcome", "worker": ID, "protocol": 1}``
     Registration accepted.
-``{"type": "cell", "cell": ID, "index": I, "scenario": {...}, "runner": SPEC}``
+``{"type": "cell", "cell": ID, "index": I, "attempt": A, "scenario": {...},
+"runner": SPEC}``
     One leased cell.  ``runner`` is an importable ``"module:qualname"``
     spec or ``null`` for the default prebuilt runner
     (:func:`~repro.scenarios.prebuilt.run_scenario_prebuilt`) — cells
     never carry pickled callables, so any host with the code checked out
-    can serve as a worker.
+    can serve as a worker.  ``attempt`` counts lease grants for this
+    cell (1 on the first grant), which keeps re-leases distinguishable
+    on the wire (the chaos harness keys fault decisions on it).
 ``{"type": "shutdown"}``
     The coordinator is winding down; the worker exits cleanly.
-``{"type": "error", "message": ...}``
-    A protocol violation (echoed before the connection drops).
+``{"type": "error", "message": ..., "code": ...?}``
+    A protocol violation (echoed before the connection drops).  A
+    ``"code"`` of ``"protocol-mismatch"`` marks the one *permanent*
+    rejection: self-healing reconnect loops must give up instead of
+    redialling a coordinator that will never accept them.
 
 Runner specs
 ------------

@@ -18,14 +18,22 @@ capacity, then loops reading coordinator messages:
 * runner exceptions become ``"error"``
   :class:`~repro.scenarios.backends.CellError` outcomes worker-side —
   only a *dying* worker (SIGKILL, OOM, ``os._exit``) shows up as a
-  worker-death, which is the coordinator's requeue path.
+  worker-death, which is the coordinator's requeue path;
+* an unexpected connection drop (a crashed — not stopped — coordinator)
+  enters a :class:`~repro.resilience.RetryPolicy` reconnect loop: the
+  agent redials, re-registers under its *prior* worker id (``resume``),
+  and keeps its thread pool — cells that were mid-flight when the wire
+  vanished finish and stream up the new connection.  Every successful
+  session refreshes the budget, so a flapping coordinator only has to
+  stay down longer than one whole policy to lose the worker.
 
 The agent exits 0 on a coordinator-initiated ``shutdown`` and 1 when the
-connection drops unexpectedly.
+connection drops unexpectedly and the reconnect budget (if any) runs out.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import sys
 import threading
@@ -39,7 +47,8 @@ from repro.cluster.protocol import (
     parse_message,
     runner_from_wire,
 )
-from repro.errors import ClusterError, ServiceError
+from repro.errors import ClusterError, ClusterProtocolError, ServiceError
+from repro.resilience import RetryPolicy
 from repro.scenarios.backends import CellError, _error_outcome
 from repro.scenarios.spec import Scenario
 
@@ -63,7 +72,9 @@ class ClusterWorkerAgent:
                  name: str = "worker",
                  capacity: int = 1,
                  heartbeat_interval: float = 1.0,
-                 connect_timeout: float = 10.0):
+                 connect_timeout: float = 10.0,
+                 reconnect: RetryPolicy | None = None,
+                 rng: random.Random | None = None):
         if capacity < 1:
             raise ClusterError(f"capacity must be >= 1, got {capacity}")
         if heartbeat_interval <= 0:
@@ -75,10 +86,16 @@ class ClusterWorkerAgent:
         self.capacity = capacity
         self.heartbeat_interval = heartbeat_interval
         self.connect_timeout = connect_timeout
+        #: Redial budget after an *unexpected* drop; ``None`` = die on
+        #: the first one (the pre-self-healing behaviour).
+        self.reconnect = reconnect
+        self.rng = rng
         #: The coordinator-assigned id (set after the welcome handshake).
         self.worker_id: str | None = None
         #: Cells this agent finished (successes and errors).
         self.completed = 0
+        #: Successful (re)connections, for tests and log lines.
+        self.sessions = 0
         self._runners: dict[str | None, Callable] = {}
         self._write_lock = threading.Lock()
         self._stop = threading.Event()
@@ -87,7 +104,44 @@ class ClusterWorkerAgent:
     def run(self) -> int:
         """Serve until the coordinator says ``shutdown``; returns exit code.
 
-        0 for a clean shutdown, 1 when the connection drops first.
+        0 for a clean shutdown, 1 when the connection drops first and
+        the ``reconnect`` policy (if any) cannot re-establish it.  The
+        first connection always fails loudly (:class:`ClusterError`) —
+        an agent that never registered has nothing to heal.
+        """
+        clean = False
+        executor = ThreadPoolExecutor(max_workers=self.capacity,
+                                      thread_name_prefix="cluster-cell")
+        try:
+            clean = self._serve_session(executor, resume=None)
+            while not clean and self.reconnect is not None:
+                healed = False
+                for _attempt in self.reconnect.attempts(self.rng):
+                    try:
+                        clean = self._serve_session(executor,
+                                                    resume=self.worker_id)
+                    except ClusterProtocolError:
+                        raise  # version skew: retrying cannot fix it
+                    except ClusterError:
+                        continue  # coordinator still down; back off
+                    healed = True
+                    break
+                if not healed:
+                    break  # budget spent with the coordinator still gone
+        finally:
+            self._stop.set()
+            # In-flight cells die with the process; the coordinator's
+            # EOF handling requeues them, which is the contract.
+            executor.shutdown(wait=clean, cancel_futures=not clean)
+        return 0 if clean else 1
+
+    def _serve_session(self, executor: ThreadPoolExecutor, *,
+                       resume: str | None) -> bool:
+        """One connect → register → serve cycle; ``True`` on clean shutdown.
+
+        Raises :class:`ClusterError` when the coordinator cannot be
+        reached or rejects registration; returns ``False`` when an
+        established session drops mid-stream (the self-healing case).
         """
         try:
             sock = socket.create_connection(self.address,
@@ -99,16 +153,28 @@ class ClusterWorkerAgent:
             ) from None
         sock.settimeout(None)
         rfile = sock.makefile("r", encoding="utf-8")
-        self._wfile = sock.makefile("w", encoding="utf-8")
         clean = False
-        executor = ThreadPoolExecutor(max_workers=self.capacity,
-                                      thread_name_prefix="cluster-cell")
+        registered = False
         try:
-            self._send({"op": "register", "worker": self.name,
+            with self._write_lock:
+                self._wfile = sock.makefile("w", encoding="utf-8")
+            register = {"op": "register", "worker": self.name,
                         "capacity": self.capacity,
-                        "protocol": CLUSTER_PROTOCOL_VERSION})
+                        "protocol": CLUSTER_PROTOCOL_VERSION}
+            if resume is not None:
+                register["resume"] = resume
+            self._send(register)
             welcome = parse_message(rfile.readline() or "null")
             if welcome.get("type") == "error":
+                if welcome.get("code") == "protocol-mismatch":
+                    raise ClusterProtocolError(
+                        f"coordinator at {self.address[0]}:"
+                        f"{self.address[1]} speaks a different cluster "
+                        f"protocol: {welcome.get('message')}; update this "
+                        f"host's repro checkout so both sides agree on "
+                        f"CLUSTER_PROTOCOL_VERSION "
+                        f"({CLUSTER_PROTOCOL_VERSION} here)"
+                    )
                 raise ClusterError(
                     f"coordinator rejected registration: "
                     f"{welcome.get('message')}"
@@ -116,6 +182,8 @@ class ClusterWorkerAgent:
             if welcome.get("type") != "welcome":
                 raise ClusterError(f"expected welcome, got {welcome!r}")
             self.worker_id = str(welcome.get("worker"))
+            self.sessions += 1
+            registered = True
             heartbeat = threading.Thread(target=self._heartbeat_loop,
                                          name="cluster-heartbeat",
                                          daemon=True)
@@ -132,17 +200,28 @@ class ClusterWorkerAgent:
                     clean = True
                     break
                 # "error" and unknown types: nothing actionable; keep going
+        except OSError as exc:
+            # A reset (RST instead of FIN) surfaces as a raw socket error
+            # rather than EOF.  Before the welcome it means the dial raced
+            # a coordinator teardown — fail like an unreachable host so
+            # the reconnect loop backs off; after it, it is just the
+            # mid-session drop the self-healing path exists for.
+            if not registered:
+                raise ClusterError(
+                    f"connection to cluster coordinator at "
+                    f"{self.address[0]}:{self.address[1]} lost during "
+                    f"handshake: {exc}"
+                ) from None
         finally:
-            self._stop.set()
-            # In-flight cells die with the process; the coordinator's
-            # EOF handling requeues them, which is the contract.
-            executor.shutdown(wait=clean, cancel_futures=not clean)
-            for handle in (rfile, self._wfile, sock):
+            with self._write_lock:
+                wfile, self._wfile = self._wfile, None
+            for handle in (rfile, wfile, sock):
                 try:
-                    handle.close()
+                    if handle is not None:
+                        handle.close()
                 except OSError:
                     pass
-        return 0 if clean else 1
+        return clean
 
     # -- internals -------------------------------------------------------
     def _run_cell(self, message: dict) -> None:

@@ -57,3 +57,12 @@ class ServiceError(ReproError):
 class ClusterError(ReproError):
     """The cluster fabric lost its workers or its wire protocol was violated."""
 
+
+class ClusterProtocolError(ClusterError):
+    """A permanent protocol-version mismatch between worker and coordinator.
+
+    Unlike the transient connection failures wrapped in plain
+    :class:`ClusterError`, reconnecting cannot fix this — the two sides
+    run incompatible code, so self-healing loops must *not* retry it.
+    """
+

@@ -50,6 +50,11 @@ auto-spawned local fleet by default (``--cluster-local N``), remote
 bootstrap via ``--ssh-host``/``--ssh-cmd``, or externally launched
 ``worker`` processes — ``worker --connect HOST:PORT`` is the agent that
 runs on every extra host.
+
+``chaos`` runs a grid on a local cluster fleet while injecting a seeded
+fault schedule — worker kills/pauses, coordinator crash-restarts on the
+write-ahead journal, wire delays/drops/duplicates — and exits 0 only
+when every cell still completed cleanly (see :mod:`repro.chaos`).
 """
 
 from __future__ import annotations
@@ -374,6 +379,8 @@ def _grid_main(argv: Sequence[str]) -> int:
                f"{report.cache_hits} cache hits, {report.deduped} deduped, "
                f"{report.resumed} resumed, {report.errors} errors, "
                f"{report.retries} retries")
+    if report.degraded:
+        summary += f", {report.degraded} on fallback"
     if args.output:
         summary += f" -> {args.output}"
     print(summary, file=sys.stderr)
@@ -435,6 +442,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             from repro.cluster.cli import worker_main
 
             return worker_main(argv[1:])
+        if argv and argv[0] == "chaos":
+            # Lazy too: the chaos harness pulls in the whole cluster
+            # stack and is only for resilience testing.
+            from repro.chaos.cli import chaos_main
+
+            return chaos_main(argv[1:])
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -444,15 +457,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         description="Regenerate the figures of the PPA paper (ICDE 2016), "
                     "run declarative scenarios ('scenario'/'grid'/'cache' "
                     "subcommands), run the sweep service "
-                    "('serve'/'submit'/'status'), or serve as a cluster "
-                    "worker ('worker').",
+                    "('serve'/'submit'/'status'), serve as a cluster "
+                    "worker ('worker'), or chaos-test the fabric ('chaos').",
     )
     parser.add_argument("figures", nargs="+",
                         choices=sorted(RUNNERS) + ["all"],
                         metavar="figure",
                         help="figures to regenerate (%(choices)s), or the "
                              "'scenario'/'grid'/'cache'/'serve'/'submit'/"
-                             "'status'/'worker' subcommands",
+                             "'status'/'worker'/'chaos' subcommands",
     )
     parser.add_argument("--fast", action="store_true",
                         help="reduced grids/durations for a quick pass")

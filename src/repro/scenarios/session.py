@@ -83,9 +83,12 @@ class GridReport:
     ``errors`` can exceed ``executed`` but never ``total``.  ``retries``
     counts extra execution attempts across the whole grid (one per worker
     death that forced a cell restart, charged once per distinct executed
-    cell, not per duplicate).  ``outcomes`` lines up with the input
-    scenarios, or is ``None`` when the session was created with
-    ``collect=False``.
+    cell, not per duplicate).  ``degraded`` counts executed cells that a
+    degradation-capable backend (the cluster backend with a fallback)
+    finished on its in-process fallback rather than the primary fabric —
+    the results are identical, but the operator should know the fleet
+    was not healthy.  ``outcomes`` lines up with the input scenarios, or
+    is ``None`` when the session was created with ``collect=False``.
     """
 
     total: int
@@ -96,6 +99,7 @@ class GridReport:
     errors: int
     outcomes: list[object] | None
     retries: int = 0
+    degraded: int = 0
 
     def results(self) -> list[ScenarioResult]:
         """The successful results, in input order (requires ``collect``)."""
@@ -216,6 +220,7 @@ class GridSession:
         next_flush = 0
         errors = 0
         retries = 0
+        degraded = 0
         first_error: CellError | None = None
 
         persisted: Mapping[str, object] = {}
@@ -268,6 +273,8 @@ class GridSession:
                     attempts = getattr(outcome, "attempts", 1)
                 cell_retries = max(0, attempts - 1)
                 retries += cell_retries
+                if position in getattr(self.backend, "degraded_positions", ()):
+                    degraded += 1
                 rep_index = representatives[position]
                 digest = digests[rep_index]
                 if isinstance(outcome, ScenarioResult) and self.cache is not None:
@@ -308,6 +315,7 @@ class GridSession:
             errors=errors,
             outcomes=list(outcomes) if self.collect else None,
             retries=retries,
+            degraded=degraded,
         )
         if self.strict and first_error is not None:
             name = first_error.scenario.name or first_error.scenario.workload

@@ -67,6 +67,7 @@ class SweepCounters:
     failed: int = 0         #: cell outcomes that were CellErrors
     retried: int = 0        #: extra attempts caused by worker deaths
     resumed: int = 0        #: cells re-enqueued from the journal
+    degraded: int = 0       #: cells that ran on a fallback backend
 
     def to_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
@@ -264,8 +265,15 @@ class SweepBroker:
                     self._rotation.append(client)
             return batch
 
-    def complete(self, digest: str, outcome: object, attempts: int = 1) -> None:
-        """Record one finished execution and fan it out to subscribers."""
+    def complete(self, digest: str, outcome: object, attempts: int = 1, *,
+                 degraded: bool = False) -> None:
+        """Record one finished execution and fan it out to subscribers.
+
+        ``degraded=True`` marks a cell a degraded cluster backend handed
+        to its in-process fallback; it surfaces in the ``status``
+        counters so operators can see a sweep quietly running without
+        its fleet.
+        """
         if isinstance(outcome, ScenarioResult) and self.cache is not None:
             self.cache.put(digest, outcome)
         with self._work:
@@ -279,6 +287,9 @@ class SweepBroker:
             owner.retried += retries
             self.totals.executed += 1
             self.totals.retried += retries
+            if degraded:
+                owner.degraded += 1
+                self.totals.degraded += 1
             if self.journal is not None:
                 self.journal.record_done(digest)
             for subscriber in cell.subscribers:

@@ -227,14 +227,16 @@ def _print_status(status: dict, *, as_json: bool) -> None:
     print(f"totals: {totals['submitted']} submitted, "
           f"{totals['executed']} executed, {totals['cache_hits']} cache hits, "
           f"{totals['deduped']} deduped, {totals['failed']} failed, "
-          f"{totals['retried']} retried, {totals['resumed']} resumed")
+          f"{totals['retried']} retried, {totals['resumed']} resumed, "
+          f"{totals.get('degraded', 0)} degraded")
     for name, counters in status.get("clients", {}).items():
         print(f"  {name}: {counters['submitted']} submitted, "
               f"{counters['executed']} executed, "
               f"{counters['cache_hits']} cache hits, "
               f"{counters['deduped']} deduped, {counters['failed']} failed, "
               f"{counters['retried']} retried, "
-              f"{counters['resumed']} resumed")
+              f"{counters['resumed']} resumed, "
+              f"{counters.get('degraded', 0)} degraded")
 
 
 def status_main(argv: Sequence[str]) -> int:

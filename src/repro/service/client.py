@@ -20,11 +20,13 @@ wherever they land.
 
 from __future__ import annotations
 
+import random
 import socket
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ScenarioError, ServiceError
+from repro.resilience import CircuitBreaker, RetryPolicy
 from repro.scenarios.backends import CellError
 from repro.scenarios.runner import ScenarioResult
 from repro.scenarios.spec import Scenario
@@ -76,11 +78,23 @@ class SweepClient:
     The client is synchronous and single-threaded; it is not safe to share
     one instance across threads (open one connection per thread instead —
     the server is built for many concurrent connections).
+
+    ``retry`` (a :class:`~repro.resilience.RetryPolicy`) makes the
+    client self-healing for *transient* faults: the initial dial is
+    retried with backoff, and a ``submit`` whose connection turns out to
+    be dead reconnects and resends — but only while no other job is
+    mid-flight on the connection, since reconnecting abandons the
+    server-side stream state.  ``breaker`` (a
+    :class:`~repro.resilience.CircuitBreaker`) makes a repeatedly
+    unreachable server fail fast instead of hammering it.
     """
 
     def __init__(self, address: "tuple[str, int] | str", *,
                  client_id: str = "client",
-                 connect_timeout: float = 10.0):
+                 connect_timeout: float = 10.0,
+                 retry: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 rng: random.Random | None = None):
         if isinstance(address, str):
             host, _, port_text = address.rpartition(":")
             if not host or not port_text.isdigit():
@@ -89,22 +103,54 @@ class SweepClient:
                 )
             address = (host, int(port_text))
         self.address = (str(address[0]), int(address[1]))
-        try:
-            self._sock = socket.create_connection(self.address,
-                                                  timeout=connect_timeout)
-        except OSError as exc:
-            raise ServiceError(
-                f"cannot connect to sweep server at "
-                f"{self.address[0]}:{self.address[1]}: {exc}"
-            ) from None
-        self._sock.settimeout(None)
-        self._rfile = self._sock.makefile("r", encoding="utf-8")
-        self._wfile = self._sock.makefile("w", encoding="utf-8")
+        self.connect_timeout = connect_timeout
+        self.retry = retry
+        self.breaker = breaker
+        self.rng = rng
+        #: Successful reconnects performed by the retry machinery.
+        self.reconnects = 0
+        self._requested_id = client_id
         self._jobs: dict[str, JobOutcome] = {}
         self._accepted: list[dict] = []
         self._status: list[dict] = []
         self.draining = False
-        self._send({"op": "hello", "client": client_id,
+        self._connect()
+
+    def _dial(self) -> socket.socket:
+        """One socket-level connection attempt, breaker-guarded."""
+        if self.breaker is not None and not self.breaker.allow():
+            raise ServiceError(
+                f"circuit open for sweep server at {self.address[0]}:"
+                f"{self.address[1]} after repeated failures; backing off "
+                f"for {self.breaker.reset_timeout:g}s"
+            )
+        try:
+            sock = socket.create_connection(self.address,
+                                            timeout=self.connect_timeout)
+        except OSError as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise ServiceError(
+                f"cannot connect to sweep server at "
+                f"{self.address[0]}:{self.address[1]}: {exc}"
+            ) from None
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return sock
+
+    def _connect(self) -> None:
+        """Dial (retrying transient failures) and run the hello handshake."""
+        if self.retry is not None:
+            self._sock = self.retry.call(self._dial,
+                                         retry_on=(ServiceError,),
+                                         rng=self.rng)
+        else:
+            self._sock = self._dial()
+        self._sock.settimeout(None)
+        self._rfile = self._sock.makefile("r", encoding="utf-8")
+        self._wfile = self._sock.makefile("w", encoding="utf-8")
+        # Handshake rejections are semantic, never retried.
+        self._send({"op": "hello", "client": self._requested_id,
                     "protocol": PROTOCOL_VERSION})
         welcome = self._read()
         if welcome.get("type") == "error":
@@ -159,9 +205,20 @@ class SweepClient:
                                    for key, values in axes.items()}
         else:
             raise ScenarioError("submit needs scenarios= or base=")
-        self._send(message)
-        while not self._accepted:
-            self._pump()
+        try:
+            self._send(message)
+            while not self._accepted:
+                self._pump()
+        except ServiceError:
+            if self.retry is None or self.draining \
+                    or any(not state.done for state in self._jobs.values()):
+                raise  # nothing safe to heal: in-flight jobs die with the wire
+            # Transient drop with no stream state at stake (e.g. the
+            # server restarted between jobs): reconnect and resend.
+            self._reconnect()
+            self._send(message)
+            while not self._accepted:
+                self._pump()
         accepted = self._accepted.pop(0)
         job_id = str(accepted["job"])
         state = self._jobs[job_id]
@@ -204,6 +261,16 @@ class SweepClient:
         self._send({"op": "drain"})
 
     # -- plumbing --------------------------------------------------------
+    def _reconnect(self) -> None:
+        """Tear down the dead connection and re-run the handshake."""
+        for handle in (self._rfile, self._wfile, self._sock):
+            try:
+                handle.close()
+            except OSError:
+                pass
+        self._connect()
+        self.reconnects += 1
+
     def _send(self, message: dict) -> None:
         try:
             self._wfile.write(dump_message(message))

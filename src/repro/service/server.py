@@ -289,7 +289,10 @@ class SweepServer:
                     else:  # legacy external backend: bare (index, outcome)
                         position, outcome = item
                         attempts = getattr(outcome, "attempts", 1)
-                    self.broker.complete(batch[position][0], outcome, attempts)
+                    degraded = position in getattr(
+                        self.backend, "degraded_positions", ())
+                    self.broker.complete(batch[position][0], outcome,
+                                         attempts, degraded=degraded)
             except Exception:  # pragma: no cover - backend bug guard
                 # A backend that dies wholesale must not kill the service;
                 # every cell of the batch it failed to report is requeued
