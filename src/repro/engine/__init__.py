@@ -4,8 +4,8 @@ See DESIGN.md §2 for how this substitutes the paper's EC2 deployment, and
 :mod:`repro.engine.engine` for the protocols implemented.
 """
 
-from repro.engine.checkpoint import Checkpoint, CheckpointStore
-from repro.engine.cluster import Cluster, Node, NodeKind
+from repro.engine.checkpoint import Checkpoint, CheckpointStore, CheckpointTimings
+from repro.engine.cluster import Cluster, Node, NodeKind, placement_node_map
 from repro.engine.config import CostModel, EngineConfig, PassiveStrategy
 from repro.engine.engine import StreamEngine
 from repro.engine.events import EventHandle, Simulator
@@ -43,6 +43,7 @@ __all__ = [
     "BatchKernel",
     "Checkpoint",
     "CheckpointStore",
+    "CheckpointTimings",
     "Cluster",
     "CostModel",
     "EngineConfig",
@@ -73,6 +74,7 @@ __all__ = [
     "forged_batch",
     "kernel_backend",
     "numpy_available",
+    "placement_node_map",
     "set_kernel_backend",
     "stable_hash",
 ]

@@ -45,3 +45,40 @@ class CheckpointStore:
 
     def __len__(self) -> int:
         return len(self._latest)
+
+
+@dataclass
+class CheckpointTimings:
+    """Measured per-task snapshot cost, smoothed for online tuning.
+
+    The engine reports the virtual CPU cost of every checkpoint it takes;
+    schemes that adapt their checkpoint interval (``adaptive-checkpoint``)
+    read the exponentially-weighted estimate back.
+
+    >>> timings = CheckpointTimings(smoothing=0.5)
+    >>> timings.observe(TaskId("O1", 0), 0.4)
+    >>> timings.observe(TaskId("O1", 0), 0.2)
+    >>> round(timings.cost_estimate(TaskId("O1", 0)), 6)
+    0.3
+    >>> timings.cost_estimate(TaskId("O2", 0)) is None
+    True
+    """
+
+    smoothing: float = 0.3
+    _estimates: dict[TaskId, float] = field(default_factory=dict)
+
+    def observe(self, task: TaskId, cost: float) -> None:
+        """Fold one measured snapshot cost into the task's estimate."""
+        previous = self._estimates.get(task)
+        if previous is None:
+            self._estimates[task] = cost
+        else:
+            alpha = self.smoothing
+            self._estimates[task] = alpha * cost + (1.0 - alpha) * previous
+
+    def cost_estimate(self, task: TaskId) -> float | None:
+        """Smoothed snapshot cost of ``task``, or None before any sample."""
+        return self._estimates.get(task)
+
+    def __len__(self) -> int:
+        return len(self._estimates)

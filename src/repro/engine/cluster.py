@@ -10,11 +10,33 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.errors import SimulationError
 from repro.topology.graph import Topology
 from repro.topology.operators import TaskId
+
+
+def placement_node_map(tasks: Sequence[TaskId], nodes: Sequence[str],
+                       pins: Mapping[TaskId, str] | None = None
+                       ) -> dict[TaskId, str]:
+    """Task → node-name map: round-robin over ``nodes`` with explicit pins.
+
+    The single source of truth for the default placement order shared by the
+    ``rack-correlated`` failure model and the ``k-safe`` recovery scheme —
+    both must agree on which node hosts a task, or a blast radius computed
+    by one would not match the kills injected by the other.  ``pins``
+    overrides individual tasks; unpinned tasks keep their round-robin slot.
+    """
+    if not nodes:
+        raise SimulationError("placement needs at least one node")
+    node_of = {
+        task: nodes[position % len(nodes)]
+        for position, task in enumerate(tasks)
+    }
+    if pins:
+        node_of.update(pins)
+    return node_of
 
 
 class NodeKind(enum.Enum):

@@ -93,6 +93,11 @@ class EngineConfig:
     #: the default), ``"checkpoint-replay"``, ``"source-replay"``, or
     #: ``"active-standby"``; custom schemes plug in via the registry.
     recovery_scheme: str = "ppa"
+    #: Keyword arguments for the scheme factory (e.g. ``{"fidelity_bound":
+    #: 0.2}`` for ``approximate-ft``).  Empty for the built-in defaults, and
+    #: omitted from scenario serialization when empty so existing digests
+    #: are unchanged.
+    recovery_params: dict = field(default_factory=dict)
     #: Cost model.
     costs: CostModel = field(default_factory=CostModel)
     #: Seed for any randomised choice (kept for reproducibility; the engine

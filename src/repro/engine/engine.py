@@ -102,13 +102,17 @@ class StreamEngine:
         self._source_memos = source_memos
         self.checkpoints = CheckpointStore()
         self.cluster = cluster or self._default_cluster()
-        self._detected_nodes: set[str] = set()
+        # Node names whose failure the master has not yet noticed.  Keyed on
+        # the *kill*, not the current node flag, so a node that flaps back up
+        # before the next heartbeat still gets its dead tasks detected.
+        self._pending_detection: set[str] = set()
         self._end_time = 0.0
         self._started = False
 
         # The fault-tolerance scheme decides which tasks get hot replicas
         # and owns everything that happens after a failure is detected.
-        self.scheme = create_scheme(self.config.recovery_scheme)
+        self.scheme = create_scheme(self.config.recovery_scheme,
+                                    self.config.recovery_params)
         self.scheme.attach(RecoveryContext(self))
         self.replicated = self.scheme.replicated_tasks(
             topology, self.plan.replicated
@@ -170,15 +174,39 @@ class StreamEngine:
     # ------------------------------------------------------------------
     # Driving the run
     # ------------------------------------------------------------------
-    def schedule_node_failure(self, time: float, node_names: Sequence[str]) -> None:
-        """Kill the given nodes at virtual time ``time``."""
-        names = list(node_names)
-        self.sim.at(time, self._fail_nodes, priority=-1, args=(names,))
+    def schedule_node_failure(self, time: float, node_names: Sequence[str],
+                              detect_delay: float = 0.0) -> None:
+        """Kill the given nodes at virtual time ``time``.
 
-    def schedule_task_failure(self, time: float, tasks: Iterable[TaskId]) -> None:
+        ``detect_delay`` adds per-task detection latency on top of the
+        heartbeat that notices the failure (the detection-jitter axis).
+        """
+        names = list(node_names)
+        self.sim.at(time, self._fail_nodes, priority=-1,
+                    args=(names, detect_delay))
+
+    def schedule_task_failure(self, time: float, tasks: Iterable[TaskId],
+                              detect_delay: float = 0.0) -> None:
         """Kill every node hosting one of ``tasks`` at ``time``."""
         names = self.cluster.nodes_hosting(tasks)
-        self.schedule_node_failure(time, names)
+        self.schedule_node_failure(time, names, detect_delay)
+
+    def schedule_node_restore(self, time: float,
+                              node_names: Sequence[str]) -> None:
+        """Bring the given nodes back up at virtual time ``time``.
+
+        Restoring a node makes it eligible to fail again (flapping); it does
+        not resurrect the tasks that died on it — those still recover
+        through the scheme.  Runs before same-instant kills and heartbeats.
+        """
+        names = list(node_names)
+        self.sim.at(time, self._restore_nodes, priority=-3, args=(names,))
+
+    def schedule_task_restore(self, time: float,
+                              tasks: Iterable[TaskId]) -> None:
+        """Restore every node hosting one of ``tasks`` at ``time``."""
+        names = self.cluster.nodes_hosting(tasks)
+        self.schedule_node_restore(time, names)
 
     def run(self, duration: float, *, settle: bool = True) -> MetricsCollector:
         """Run for ``duration`` virtual seconds of stream input.
@@ -338,7 +366,7 @@ class StreamEngine:
     # ------------------------------------------------------------------
     def _maybe_checkpoint(self, rt: TaskRuntime, index: int, *,
                           state_tuples: int, state: object) -> None:
-        period = self.config.checkpoint_batches
+        period = self.scheme.checkpoint_period(rt)
         if period is None:
             return
         if (index + 1 - rt.checkpoint_phase) % period != 0:
@@ -355,6 +383,7 @@ class StreamEngine:
         ))
         rt.last_checkpoint_batch = index
         self.metrics.checkpoints_taken += 1
+        self.scheme.on_checkpoint(rt, cost)
         self.sim.after(costs.network_delay, self._trim_upstreams,
                        args=(rt, index))
 
@@ -416,28 +445,46 @@ class StreamEngine:
     # ------------------------------------------------------------------
     # Failure injection and detection
     # ------------------------------------------------------------------
-    def _fail_nodes(self, names: list[str]) -> None:
+    def _fail_nodes(self, names: list[str],
+                    detect_delay: float = 0.0) -> None:
+        fresh = [n for n in names if not self.cluster.node(n).failed]
         died = self.cluster.fail_nodes(names)
+        self._pending_detection.update(fresh)
         for task in died:
             rt = self.runtimes[task]
             rt.fail_time = self.sim.now
+            rt.detect_extra = detect_delay
             rt.pre_failure_progress = rt.snapshot_progress()
             rt.pre_failure_emitted = rt.emitted
             self.scheme.on_task_failed(rt)
 
+    def _restore_nodes(self, names: list[str]) -> None:
+        for name in names:
+            self.cluster.restore_node(name)
+
     def _heartbeat(self) -> None:
         for node in self.cluster.workers:
-            if node.failed and node.name not in self._detected_nodes:
-                self._detected_nodes.add(node.name)
+            if node.name in self._pending_detection:
+                self._pending_detection.discard(node.name)
                 for task in sorted(node.tasks):
-                    self.scheme.on_failure_detected(self.runtimes[task])
-        undetected = any(
-            n.failed and n.name not in self._detected_nodes
-            for n in self.cluster.workers
-        )
+                    rt = self.runtimes[task]
+                    if rt.detect_extra > 0.0:
+                        self.sim.after(rt.detect_extra,
+                                       self._deferred_detection,
+                                       args=(rt, rt.incarnation))
+                    else:
+                        self.scheme.on_failure_detected(rt)
+        undetected = bool(self._pending_detection)
         next_beat = self.sim.now + self.config.heartbeat_interval
         if next_beat <= self._end_time + 1e-9 or undetected:
             self.sim.at(next_beat, self._heartbeat, priority=-2)
+
+    def _deferred_detection(self, rt: TaskRuntime, incarnation: int) -> None:
+        """Jittered per-task detection; dropped if the task was re-killed."""
+        if rt.incarnation != incarnation:
+            return
+        if rt.status in (TaskStatus.FAILED, TaskStatus.FAILOVER):
+            self.scheme.on_failure_detected(rt)
 
     # ------------------------------------------------------------------
     # Introspection helpers

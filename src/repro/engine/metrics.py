@@ -25,6 +25,7 @@ class RecoveryMode(enum.Enum):
     ACTIVE = "active"
     CHECKPOINT = "checkpoint"
     SOURCE_REPLAY = "source-replay"
+    APPROXIMATE = "approximate"
 
 
 @dataclass
@@ -56,6 +57,13 @@ class RecoveryRecord:
     fail_time: float
     detect_time: float
     recovered_time: float | None = None
+    #: Fidelity accounting of approximate recovery (Cheng et al.,
+    #: arXiv:1811.04570): the user-set divergence bound the scheme ran
+    #: under, and the loss it actually realized by skipping replay.
+    #: ``None`` for exact schemes (and absent from fingerprints/serialized
+    #: dicts, so pre-existing goldens and sink bytes are untouched).
+    fidelity_bound: float | None = None
+    fidelity_loss: float | None = None
 
     @property
     def latency(self) -> float | None:

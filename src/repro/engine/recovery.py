@@ -34,6 +34,18 @@ Built-in schemes
 ``"active-standby"`` Every task (sources included) keeps a hot replica —
                      the fully-active upper bound the paper compares PPA
                      against; the replication plan is ignored.
+``"approximate-ft"`` Approximate fault tolerance (Cheng et al.,
+                     arXiv:1811.04570): skip replay and resume at the live
+                     edge when the estimated output divergence stays under
+                     ``fidelity_bound``, charging nothing to recovery
+                     latency; the realized loss is reported on the
+                     recovery record.
+``"k-safe"``         Passive-plus-placement: replicas are placed so that a
+                     task and its standby never share a failure domain of
+                     the ``rack-correlated`` placement map.
+``"adaptive-checkpoint"`` Tunes the checkpoint interval online from
+                     observed failure inter-arrival times and measured
+                     snapshot cost (Young/Daly ``sqrt(2·δ·MTBF)``).
 ==================== =====================================================
 
 A custom scheme is ~10 lines:
@@ -53,8 +65,11 @@ True
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, AbstractSet, Callable
+import math
+from typing import TYPE_CHECKING, AbstractSet, Callable, Mapping
 
+from repro.engine.checkpoint import CheckpointTimings
+from repro.engine.cluster import placement_node_map
 from repro.engine.config import EngineConfig, PassiveStrategy
 from repro.engine.metrics import MetricsCollector, RecoveryMode
 from repro.engine.tasks import TaskRuntime, TaskStatus
@@ -69,15 +84,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.engine import StreamEngine
     from repro.engine.logic import OperatorLogic
 
-#: Recovery-scheme factories: ``fn() -> RecoveryScheme``.  One instance is
-#: created per engine run, so schemes may keep per-run state.
+#: Recovery-scheme factories: ``fn(**params) -> RecoveryScheme``.  One
+#: instance is created per engine run, so schemes may keep per-run state.
 RECOVERY_SCHEMES: Registry = Registry("recovery scheme", error=SimulationError)
 
 
-def create_scheme(name: str) -> "RecoveryScheme":
-    """Instantiate the registered recovery scheme ``name``."""
+def create_scheme(name: str,
+                  params: Mapping[str, object] | None = None) -> "RecoveryScheme":
+    """Instantiate the registered recovery scheme ``name``.
+
+    ``params`` are keyword arguments for the scheme factory (e.g.
+    ``{"fidelity_bound": 0.2}`` for ``approximate-ft``); unknown parameters
+    surface as a :class:`SimulationError` naming the scheme.
+    """
     factory = RECOVERY_SCHEMES.get(name)
-    scheme = factory()
+    try:
+        scheme = factory(**dict(params)) if params else factory()
+    except TypeError as exc:
+        raise SimulationError(
+            f"recovery scheme {name!r} rejected parameters "
+            f"{dict(params or {})!r}: {exc}"
+        ) from None
     if not isinstance(scheme, RecoveryScheme):
         raise SimulationError(
             f"recovery scheme {name!r} built a {type(scheme).__name__}, "
@@ -245,6 +272,20 @@ class RecoveryScheme:
         return RecoveryMode.SOURCE_REPLAY
 
     # ------------------------------------------------------------------
+    # Checkpoint policy (interval-tuning schemes override)
+    # ------------------------------------------------------------------
+    def checkpoint_period(self, rt: TaskRuntime) -> int | None:
+        """Checkpoint period for ``rt`` in whole batches; ``None`` disables.
+
+        The engine asks after every processed batch, so a scheme may retune
+        the interval online.  Default: the static configured period.
+        """
+        return self.ctx.config.checkpoint_batches
+
+    def on_checkpoint(self, rt: TaskRuntime, cost: float) -> None:
+        """Observe one taken checkpoint and its measured CPU cost."""
+
+    # ------------------------------------------------------------------
     # Failure injection
     # ------------------------------------------------------------------
     def on_task_failed(self, rt: TaskRuntime) -> None:
@@ -258,6 +299,15 @@ class RecoveryScheme:
 
     def fail_unreplicated(self, rt: TaskRuntime) -> None:
         """Mark ``rt`` dead with nothing standing in: await recovery."""
+        record = rt.recovery_record
+        if record is not None and record.recovered_time is None:
+            # A re-failure aborted an in-flight recovery (flapping): the
+            # superseded record would otherwise stay open forever.
+            try:
+                self.ctx.metrics.recoveries.remove(record)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        rt.recovery_record = None
         rt.status = TaskStatus.FAILED
         rt.incarnation += 1
         rt.processing = False
@@ -270,6 +320,9 @@ class RecoveryScheme:
         """Start takeover (FAILOVER) or passive recovery (FAILED)."""
         assert rt.fail_time is not None
         ctx = self.ctx
+        if (rt.recovery_record is not None
+                and rt.recovery_record.recovered_time is None):
+            return  # recovery of this failure is already under way
         if rt.status is TaskStatus.FAILOVER:
             record = ctx.metrics.record_recovery_start(
                 rt.task, RecoveryMode.ACTIVE, rt.fail_time, ctx.now
@@ -291,7 +344,7 @@ class RecoveryScheme:
             self.start_forging(rt)
         if ctx.config.recovery_enabled:
             ctx.after(ctx.config.costs.restart_delay, self.restore_task,
-                      args=(rt,))
+                      args=(rt, rt.incarnation))
 
     def complete_takeover(self, rt: TaskRuntime) -> None:
         """Replica becomes primary: flush held outputs, resume serving."""
@@ -309,8 +362,17 @@ class RecoveryScheme:
     # ------------------------------------------------------------------
     # Passive recovery
     # ------------------------------------------------------------------
-    def restore_task(self, rt: TaskRuntime) -> None:
-        """Restart ``rt`` on a standby node and begin catching up."""
+    def restore_task(self, rt: TaskRuntime,
+                     incarnation: int | None = None) -> None:
+        """Restart ``rt`` on a standby node and begin catching up.
+
+        ``incarnation`` pins the restore to the failure that scheduled it:
+        if the task was killed *again* in the meantime (flapping), the stale
+        restore is dropped — the re-failure's own detection schedules a
+        fresh one.
+        """
+        if incarnation is not None and rt.incarnation != incarnation:
+            return
         if rt.status is not TaskStatus.FAILED:
             return
         ctx = self.ctx
@@ -567,3 +629,340 @@ class ActiveStandbyScheme(RecoveryScheme):
                          planned: AbstractSet[TaskId]) -> frozenset[TaskId]:
         """Every task, sources included."""
         return frozenset(topology.tasks())
+
+
+@RECOVERY_SCHEMES.register("approximate-ft")
+class ApproximateFtScheme(RecoveryScheme):
+    """Approximate fault tolerance: bounded-loss recovery without replay.
+
+    When a task dies, replaying its backlog is what recovery latency is
+    made of.  This scheme (after Cheng et al., arXiv:1811.04570) instead
+    *jumps* the task to the live edge — restore the latest checkpoint for
+    state, skip the batches that fell into the outage, and resume with the
+    next batch the topology produces — whenever the estimated output
+    divergence of doing so stays within ``fidelity_bound``.  The estimate
+    is the fraction of the operator's effective window the skipped batches
+    cover; when it exceeds the bound, recovery falls back to the exact
+    checkpoint-replay path.  Either way the realized loss is reported as
+    ``fidelity_loss`` on the recovery record (always ``<= fidelity_bound``),
+    and skipped batch indices are forged downstream so the rest of the
+    topology never stalls waiting for output that will never come.
+    """
+
+    name = "approximate-ft"
+
+    def __init__(self, *, fidelity_bound: float = 0.1) -> None:
+        super().__init__()
+        bound = float(fidelity_bound)
+        if not 0.0 <= bound <= 1.0:
+            raise SimulationError(
+                f"'approximate-ft' fidelity_bound must be in [0, 1], "
+                f"got {fidelity_bound!r}"
+            )
+        self.fidelity_bound = bound
+        #: Batch-index ranges ``[lo, hi)`` each task skipped, for forging
+        #: punctuations to late replay requesters.
+        self._gaps: dict[TaskId, list[tuple[int, int]]] = {}
+
+    def replicated_tasks(self, topology: Topology,
+                         planned: AbstractSet[TaskId]) -> frozenset[TaskId]:
+        """No hot replicas; approximation is the whole fault-tolerance story."""
+        return frozenset()
+
+    def passive_mode(self) -> RecoveryMode:
+        """Exact fallback restores the latest checkpoint."""
+        return RecoveryMode.CHECKPOINT
+
+    def restore_task(self, rt: TaskRuntime,
+                     incarnation: int | None = None) -> None:
+        """Jump to the live edge when the loss fits the bound, else exact."""
+        if incarnation is not None and rt.incarnation != incarnation:
+            return
+        if rt.status is not TaskStatus.FAILED:
+            return
+        ctx = self.ctx
+        record = rt.recovery_record
+        if rt.is_source:
+            # Sources resume from their log offset with no data loss.
+            if record is not None:
+                record.fidelity_bound = self.fidelity_bound
+                record.fidelity_loss = 0.0
+            super().restore_task(rt, incarnation)
+            return
+
+        checkpoint = ctx.latest_checkpoint(rt.task)
+        resume_from = 0 if checkpoint is None else checkpoint.batch_index + 1
+        jump_to = int(ctx.now / ctx.config.batch_interval)
+        start = max(jump_to, resume_from)
+        skipped = start - resume_from
+        window = max(1, ctx.source_replay_window_batches)
+        loss = min(1.0, skipped / window)
+        if loss > self.fidelity_bound:
+            # Too much divergence: recover exactly; nothing is lost.
+            if record is not None:
+                record.fidelity_bound = self.fidelity_bound
+                record.fidelity_loss = 0.0
+            super().restore_task(rt, incarnation)
+            return
+
+        gap_lo = rt.emitted + 1
+        rt.status = TaskStatus.RECOVERING
+        costs = ctx.config.costs
+        rt.logic = ctx.make_logic(rt.task)
+        rt.busy_until = ctx.now
+        if checkpoint is not None:
+            load = checkpoint.state_tuples * costs.per_tuple_load
+            rt.busy_until = ctx.now + load
+            ctx.metrics.cpu_of(rt.task).replay += load
+            if checkpoint.state is not None:
+                rt.logic.restore(checkpoint.state)
+        rt.next_batch = start
+        rt.progress = {u: start - 1 for u in rt.expected_upstreams}
+        rt.emitted = start - 1
+        if record is not None:
+            record.mode = RecoveryMode.APPROXIMATE
+            record.fidelity_bound = self.fidelity_bound
+            record.fidelity_loss = loss
+        if gap_lo < start:
+            self._gaps.setdefault(rt.task, []).append((gap_lo, start))
+            for sub in ctx.downstream_tasks(rt.task):
+                self._forge_gap(rt, ctx.runtime(sub), gap_lo, start)
+        self.serve_pending_replays(rt)
+        self.check_recovered(rt)
+        ctx.try_process(rt)
+
+    def _forge_gap(self, rt: TaskRuntime, sub: TaskRuntime,
+                   lo: int, hi: int) -> None:
+        """Punctuate the skipped range ``[lo, hi)`` so ``sub`` keeps moving."""
+        for index in range(lo, hi):
+            batch = forged_batch(rt.task, sub.task, index)
+            if sub.alive() and sub.inbox_put(batch):
+                self.ctx.metrics.batches_forged += 1
+                self.ctx.try_process(sub)
+
+    def serve_replay(self, up: TaskRuntime, sub: TaskRuntime,
+                     from_exclusive: int, upto: int) -> None:
+        """Serve the retained batches; forge the skipped ones."""
+        super().serve_replay(up, sub, from_exclusive, upto)
+        sizes = up.output_sizes
+        for lo, hi in self._gaps.get(up.task, ()):
+            for index in range(max(lo, from_exclusive + 1), min(hi, upto + 1)):
+                if index in sizes and sub.task in sizes[index]:
+                    continue
+                batch = forged_batch(up.task, sub.task, index)
+                if sub.alive() and sub.inbox_put(batch):
+                    self.ctx.metrics.batches_forged += 1
+                    self.ctx.try_process(sub)
+
+
+@RECOVERY_SCHEMES.register("k-safe")
+class KSafeScheme(RecoveryScheme):
+    """Failure-domain-aware replica placement over the ``rack-correlated`` map.
+
+    Consumes the same node→rack ``placement`` mapping (and optional
+    task→node ``assignment`` pins) that the ``rack-correlated`` failure
+    model uses to pick its victims, and places every planned task's standby
+    replica on a node of a *different* rack — so no single blast radius
+    takes out both a task and its replica.  Primaries follow the shared
+    round-robin placement (:func:`~repro.engine.cluster.placement_node_map`),
+    which is exactly how the failure model maps tasks to nodes, so the two
+    views of the cluster always agree.
+
+    With no ``placement`` the scheme degrades to plain PPA.  When a later
+    failure wave *does* take out a rack hosting replicas (multi-rack
+    outages, flapping), the affected replicas die with it: their tasks are
+    demoted to passive recovery instead of waiting on a takeover that can
+    never complete.
+    """
+
+    name = "k-safe"
+
+    def __init__(self, *, placement: Mapping[str, str] | None = None,
+                 assignment: Mapping[str, object] | None = None) -> None:
+        super().__init__()
+        self._placement = dict(placement) if placement else {}
+        self._assignment = dict(assignment) if assignment else {}
+        if self._assignment and not self._placement:
+            raise SimulationError(
+                "'k-safe' assignment pins need a placement map to pin into"
+            )
+        #: node name → rack id (from ``placement``).
+        self.rack_of: dict[str, str] = {}
+        #: task → node hosting its primary (all tasks; shared round-robin).
+        self.primary_host: dict[TaskId, str] = {}
+        #: planned task → node hosting its standby replica (different rack).
+        self.replica_host: dict[TaskId, str] = {}
+        self._dead_nodes: set[str] = set()
+
+    def replicated_tasks(self, topology: Topology,
+                         planned: AbstractSet[TaskId]) -> frozenset[TaskId]:
+        """The plan's tasks, with replicas placed rack-disjoint."""
+        if not self._placement:
+            return frozenset(planned)
+        nodes = [str(n) for n in self._placement]
+        self.rack_of = {str(n): str(r) for n, r in self._placement.items()}
+        rack_order = list(dict.fromkeys(self.rack_of[n] for n in nodes))
+        if len(rack_order) < 2:
+            raise SimulationError(
+                "'k-safe' needs a placement spanning at least two racks; "
+                f"got {rack_order!r}"
+            )
+        pins: dict[TaskId, str] = {}
+        for ref, node_name in self._assignment.items():
+            task = ref if isinstance(ref, TaskId) else TaskId.parse(str(ref))
+            if task is None or task not in topology.tasks():
+                raise SimulationError(
+                    f"'k-safe' assignment pins unknown task {ref!r}"
+                )
+            node_name = str(node_name)
+            if node_name not in self.rack_of:
+                known = ", ".join(repr(n) for n in nodes)
+                raise SimulationError(
+                    f"'k-safe' assignment pins {task} to unknown node "
+                    f"{node_name!r}; placement has {known}"
+                )
+            pins[task] = node_name
+        self.primary_host = placement_node_map(topology.tasks(), nodes, pins)
+
+        by_rack: dict[str, list[str]] = {}
+        for node in nodes:
+            by_rack.setdefault(self.rack_of[node], []).append(node)
+        rack_cursor = 0
+        node_cursor = {rack: 0 for rack in rack_order}
+        for task in topology.tasks():
+            if task not in planned:
+                continue
+            primary_rack = self.rack_of[self.primary_host[task]]
+            candidates = [r for r in rack_order if r != primary_rack]
+            rack = candidates[rack_cursor % len(candidates)]
+            rack_cursor += 1
+            hosts = by_rack[rack]
+            node = hosts[node_cursor[rack] % len(hosts)]
+            node_cursor[rack] += 1
+            self.replica_host[task] = node
+        return frozenset(planned)
+
+    def on_task_failed(self, rt: TaskRuntime) -> None:
+        """Track the blast radius: a dead node kills the replicas it hosts."""
+        if self.replica_host:
+            node = self.primary_host.get(rt.task)
+            if node is not None and node not in self._dead_nodes:
+                self._dead_nodes.add(node)
+                self._kill_replicas_on(node)
+        super().on_task_failed(rt)
+
+    def _kill_replicas_on(self, node: str) -> None:
+        """Replicas hosted on ``node`` die with it; demote open takeovers."""
+        for task, host in sorted(self.replica_host.items()):
+            if host != node:
+                continue
+            victim = self.ctx.runtime(task)
+            if not victim.replicated:
+                continue
+            victim.replicated = False
+            if victim.status is TaskStatus.FAILOVER:
+                self._demote_failover(victim)
+
+    def _demote_failover(self, rt: TaskRuntime) -> None:
+        """A mid-takeover task lost its replica: restart passively instead."""
+        ctx = self.ctx
+        record = rt.recovery_record
+        rt.held_outputs = []
+        self.fail_unreplicated(rt)  # also drops the aborted ACTIVE record
+        if record is None:
+            # Not yet detected: the pending heartbeat detection will see a
+            # FAILED task and start the passive path itself.
+            return
+        new_record = ctx.metrics.record_recovery_start(
+            rt.task, self.passive_mode(), rt.fail_time, ctx.now
+        )
+        rt.recovery_record = new_record
+        if ctx.config.tentative_outputs:
+            self.start_forging(rt)
+        if ctx.config.recovery_enabled:
+            ctx.after(ctx.config.costs.restart_delay, self.restore_task,
+                      args=(rt, rt.incarnation))
+
+
+@RECOVERY_SCHEMES.register("adaptive-checkpoint")
+class AdaptiveCheckpointScheme(RecoveryScheme):
+    """Online checkpoint-interval tuning from failure rate and snapshot cost.
+
+    Pure passive checkpoint/replay recovery, but the period is retuned
+    after every snapshot using the Young/Daly optimum
+    ``τ* = sqrt(2·δ·MTBF)``: ``δ`` is the task's measured snapshot cost
+    (EWMA over the costs the engine reports via :meth:`on_checkpoint`) and
+    MTBF is the mean inter-arrival of observed failure instants
+    (``mtbf_prior`` until two failures have been seen).  Cheap snapshots
+    and frequent failures shorten the interval; expensive snapshots on a
+    quiet cluster stretch it, clamped to ``[min_interval, max_interval]``
+    seconds.  Until a task's first measurement the configured interval
+    applies unchanged.
+    """
+
+    name = "adaptive-checkpoint"
+
+    def __init__(self, *, min_interval: float = 2.0,
+                 max_interval: float = 120.0,
+                 mtbf_prior: float = 120.0,
+                 smoothing: float = 0.3) -> None:
+        super().__init__()
+        if not 0.0 < min_interval <= max_interval:
+            raise SimulationError(
+                "'adaptive-checkpoint' needs 0 < min_interval <= "
+                f"max_interval, got {min_interval} / {max_interval}"
+            )
+        if mtbf_prior <= 0.0:
+            raise SimulationError(
+                f"'adaptive-checkpoint' mtbf_prior must be positive, "
+                f"got {mtbf_prior}"
+            )
+        if not 0.0 < smoothing <= 1.0:
+            raise SimulationError(
+                f"'adaptive-checkpoint' smoothing must be in (0, 1], "
+                f"got {smoothing}"
+            )
+        self.min_interval = float(min_interval)
+        self.max_interval = float(max_interval)
+        self.mtbf_prior = float(mtbf_prior)
+        self.timings = CheckpointTimings(smoothing=float(smoothing))
+        self._failure_times: list[float] = []
+
+    def replicated_tasks(self, topology: Topology,
+                         planned: AbstractSet[TaskId]) -> frozenset[TaskId]:
+        """No hot replicas; the budget goes into tuned checkpoints."""
+        return frozenset()
+
+    def passive_mode(self) -> RecoveryMode:
+        """Always restore from the latest checkpoint."""
+        return RecoveryMode.CHECKPOINT
+
+    def on_task_failed(self, rt: TaskRuntime) -> None:
+        """Fold this failure instant into the MTBF estimate."""
+        now = self.ctx.now
+        if not self._failure_times or now > self._failure_times[-1] + 1e-9:
+            self._failure_times.append(now)
+        super().on_task_failed(rt)
+
+    def mtbf_estimate(self) -> float:
+        """Mean failure inter-arrival; the prior until two failures seen."""
+        times = self._failure_times
+        if len(times) >= 2:
+            return (times[-1] - times[0]) / (len(times) - 1)
+        return self.mtbf_prior
+
+    def checkpoint_period(self, rt: TaskRuntime) -> int | None:
+        """Young/Daly period in batches, once the snapshot cost is known."""
+        configured = self.ctx.config.checkpoint_batches
+        if configured is None:
+            return None
+        delta = self.timings.cost_estimate(rt.task)
+        if delta is None:
+            return configured
+        tau = math.sqrt(2.0 * delta * self.mtbf_estimate())
+        tau = min(max(tau, self.min_interval), self.max_interval)
+        return max(1, round(tau / self.ctx.config.batch_interval))
+
+    def on_checkpoint(self, rt: TaskRuntime, cost: float) -> None:
+        """Feed the measured snapshot cost into the per-task EWMA."""
+        self.timings.observe(rt.task, cost)

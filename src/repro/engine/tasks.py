@@ -104,6 +104,9 @@ class TaskRuntime:
 
         self.last_checkpoint_batch = -1
         self.checkpoint_phase = 0
+        #: Extra per-task detection latency on top of the heartbeat that
+        #: notices the failure (the detection-jitter failure axis).
+        self.detect_extra = 0.0
         self.fail_time: float | None = None
         self.pre_failure_progress: dict[TaskId, int] | None = None
         self.pre_failure_emitted: int | None = None

@@ -82,6 +82,7 @@ from repro.experiments.recovery import (
 from repro.experiments.tables import format_table
 from repro.scenarios import (
     EXECUTION_BACKENDS,
+    FAILURE_MODELS,
     RECOVERY_SCHEMES,
     GridSession,
     Scenario,
@@ -173,15 +174,52 @@ RUNNERS: dict[str, Callable[[bool], list[FigureResult]]] = {
 }
 
 
+def _check_names(scenarios: Sequence[Scenario],
+                 recovery: Sequence[str] = ()) -> None:
+    """Fail fast on unregistered scheme/failure-model names, listing choices.
+
+    Without this, a typo in ``--recovery`` or a scenario's failure model
+    only surfaces mid-run — per cell in a grid — instead of before any
+    simulation starts.
+    """
+    schemes = set(recovery)
+    models: set[str] = set()
+    for scenario in scenarios:
+        if scenario.recovery:
+            schemes.add(scenario.recovery)
+        models.update(spec.model for spec in scenario.failures)
+    unknown = sorted(s for s in schemes if s not in RECOVERY_SCHEMES)
+    if unknown:
+        known = ", ".join(RECOVERY_SCHEMES.names())
+        raise ScenarioError(
+            f"unknown recovery scheme(s) {', '.join(map(repr, unknown))}; "
+            f"registered schemes: {known}"
+        )
+    unknown = sorted(m for m in models if m not in FAILURE_MODELS)
+    if unknown:
+        known = ", ".join(FAILURE_MODELS.names())
+        raise ScenarioError(
+            f"unknown failure model(s) {', '.join(map(repr, unknown))}; "
+            f"registered models: {known}"
+        )
+
+
 def _force_recovery(scenario: Scenario, scheme: str) -> Scenario:
     """``scenario`` with its fault-tolerance scheme overridden to ``scheme``.
 
     Drops any ``engine.recovery_scheme`` spelling so the CLI flag really is
-    an override rather than a conflict with what the file selected.
+    an override rather than a conflict with what the file selected.  When
+    the override picks a *different* scheme, the file's ``recovery_params``
+    belonged to the replaced one and are dropped too — so sweeping
+    ``--recovery`` over a base scenario tuned for one scheme still runs
+    every other scheme with its defaults.
     """
     engine = {k: v for k, v in scenario.engine.items()
               if k != "recovery_scheme"}
-    return scenario.with_overrides(recovery=scheme, engine=engine)
+    overrides: dict[str, Any] = {"recovery": scheme, "engine": engine}
+    if scheme != scenario.recovery:
+        overrides["recovery_params"] = {}
+    return scenario.with_overrides(**overrides)
 
 
 def _load_json(path: str) -> Any:
@@ -216,6 +254,7 @@ def _scenario_main(argv: Sequence[str]) -> int:
             f"{type(data).__name__}"
         )
     scenario = Scenario.from_dict(data)
+    _check_names((scenario,), (args.recovery,) if args.recovery else ())
     if args.recovery:
         scenario = _force_recovery(scenario, args.recovery)
     result = run_scenario(scenario, profile=args.profile)
@@ -306,6 +345,7 @@ def _grid_main(argv: Sequence[str]) -> int:
             "a grid JSON document needs either 'scenarios' or 'base' (+ 'axes')"
         )
 
+    _check_names(scenarios, args.recovery or ())
     if args.recovery:
         schemes = list(dict.fromkeys(args.recovery))
         if len(schemes) == 1:

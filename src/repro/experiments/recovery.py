@@ -386,7 +386,9 @@ def scheme_sweep(schemes: Sequence[str] | None = None,
                  windows: Sequence[float] = (10.0, 30.0),
                  rates: Sequence[float] = (1000.0, 2000.0),
                  failure_models: Sequence[str] = ("correlated",
-                                                  "rolling-restart"),
+                                                  "rolling-restart",
+                                                  "flapping",
+                                                  "detection-jitter"),
                  budget_fraction: float = 0.5, tuple_scale: float = 8.0,
                  duration: float = DEFAULT_DURATION,
                  backend: "str | ExecutionBackend | None" = None,
@@ -396,23 +398,37 @@ def scheme_sweep(schemes: Sequence[str] | None = None,
     The comparison the monolithic engine could not run: each cell executes
     the Fig. 6 workload under one :data:`RECOVERY_SCHEMES` entry (default:
     all of them, so schemes registered from outside the library join the
-    sweep automatically) and one failure model, reporting the time until
-    every victim recovered.  The PPA cell keeps its structure-aware
-    half-budget plan; the pure schemes ignore the plan by design.
+    sweep automatically) and one failure model.  Each (window, rate,
+    failure) combination contributes two table rows: the time until every
+    victim recovered (``latency``) and the mean sink-output accuracy
+    against a failure-free baseline (``quality``, the paper's Fig. 12/13
+    measure) — the axis that makes approximate recovery comparable to the
+    exact schemes.  The PPA cell keeps its structure-aware half-budget
+    plan; the pure schemes ignore the plan by design.
     """
     from repro.engine.recovery import RECOVERY_SCHEMES
 
     names = tuple(schemes) if schemes is not None else RECOVERY_SCHEMES.names()
     # Fail times scale with the run so a shortened sweep stays valid: the
     # correlated failure lands at 3/4 of the run (t=45 at the default 60 s),
-    # and the rolling restart starts at the midpoint with its 7 staggered
-    # kills (O2-O4, 6 stagger steps) bounded to finish within the run.
+    # the rolling restart starts at the midpoint with its 7 staggered kills
+    # (O2-O4, 6 stagger steps) bounded to finish within the run, flapping
+    # fits two kill/recover cycles after the midpoint, and detection-jitter
+    # wraps the correlated failure with randomized detection delays.
     model_failures = {
         "correlated": FailureSpec("correlated", at=duration * 0.75),
         "rolling-restart": FailureSpec(
             "rolling-restart", at=duration / 2,
             params={"stagger": min(3.0, duration / 12),
                     "operators": ["O2", "O3", "O4"]}),
+        "flapping": FailureSpec(
+            "flapping", at=duration / 2,
+            params={"cycles": 2, "down": min(4.0, duration / 15),
+                    "up": min(6.0, duration / 10),
+                    "operators": ["O2", "O3"]}),
+        "detection-jitter": FailureSpec(
+            "detection-jitter", at=duration * 0.75,
+            params={"jitter": 2.0}),
     }
 
     cells: list[tuple[float, float, str, str]] = []
@@ -435,33 +451,45 @@ def scheme_sweep(schemes: Sequence[str] | None = None,
                         budget_fraction=budget_fraction,
                         engine={"checkpoint_interval": 15.0,
                                 "sync_interval": 5.0,
+                                "tentative_outputs": True,
                                 "source_replay_window_batches": round(window)},
                         recovery=scheme,
                         failures=(failure,),
+                        quality={"measure_from": failure.at},
                         duration=duration,
                     ))
     results = run_scenarios(scenarios, backend=backend, cache=cache)
 
     latencies: dict[tuple[float, float, str, str], float] = {}
+    qualities: dict[tuple[float, float, str, str], float] = {}
     for (window, rate, model, scheme), result in zip(cells, results):
         value = result.max_recovery_latency
         if value is None:
             raise RuntimeError(
                 f"scheme {scheme!r} under {model!r}: recovery incomplete")
         latencies[(window, rate, model, scheme)] = value
+        if result.output_quality is None:
+            raise RuntimeError(
+                f"scheme {scheme!r} under {model!r}: no output quality")
+        qualities[(window, rate, model, scheme)] = result.output_quality
 
-    headers = ["window", "rate", "failure"] + list(names)
+    headers = ["window", "rate", "failure", "metric"] + list(names)
     rows: list[list[object]] = []
     for window in windows:
         for rate in rates:
             for model in failure_models:
-                row: list[object] = [f"{window:g}s", f"{rate:g}t/s", model]
-                row.extend(latencies[(window, rate, model, scheme)]
-                           for scheme in names)
-                rows.append(row)
+                for metric, values in (("latency", latencies),
+                                       ("quality", qualities)):
+                    row: list[object] = [f"{window:g}s", f"{rate:g}t/s",
+                                         model, metric]
+                    row.extend(values[(window, rate, model, scheme)]
+                               for scheme in names)
+                    rows.append(row)
     return FigureResult(
-        "Scheme sweep: max recovery latency (s) per fault-tolerance scheme",
+        "Scheme sweep: max recovery latency (s) and output quality "
+        "per fault-tolerance scheme",
         headers, rows,
         notes=f"structure-aware plan at budget fraction {budget_fraction:g}; "
-              f"pure schemes ignore the plan",
+              f"pure schemes ignore the plan; quality = mean sink accuracy "
+              f"vs failure-free baseline from the first failure on",
     )

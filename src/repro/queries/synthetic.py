@@ -9,6 +9,7 @@ and Storm's replay volume scale with rate and window length in Fig. 7–9.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Mapping, Sequence
 
 from repro.engine.kernels import active_kernel
@@ -16,6 +17,31 @@ from repro.engine.logic import OperatorLogic
 from repro.engine.tuples import KeyedTuple
 from repro.queries.windows import SlidingWindow
 from repro.topology.operators import TaskId
+
+
+def overlap_accuracy(tentative: Sequence[KeyedTuple],
+                     accurate: Sequence[KeyedTuple]) -> float:
+    """Workload-agnostic accuracy: multiset overlap ``|ST ∩ SA| / |SA|``.
+
+    The synthetic workloads carry no query-specific result semantics, so
+    tentative-output quality is simply the fraction of the accurate batch's
+    tuples that the tentative batch reproduced, counting duplicates with
+    multiplicity (the Sec. VI-B overlap measure applied to raw tuples).
+
+    >>> overlap_accuracy([("a", 1)], [("a", 1), ("b", 2)])
+    0.5
+    >>> overlap_accuracy([], [])
+    1.0
+    """
+    if not accurate:
+        return 1.0
+    surplus = Counter(tentative)
+    hit = 0
+    for item in accurate:
+        if surplus[item] > 0:
+            surplus[item] -= 1
+            hit += 1
+    return hit / len(accurate)
 
 
 class WindowedSelectivityOperator(OperatorLogic):

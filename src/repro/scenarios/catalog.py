@@ -33,7 +33,7 @@ from repro.core.structure_aware import StructureAwarePlanner
 from repro.core.structured import StructuredTopologyPlanner
 from repro.engine.logic import LogicFactory
 from repro.errors import ScenarioError
-from repro.queries.synthetic import WindowedSelectivityOperator
+from repro.queries.synthetic import WindowedSelectivityOperator, overlap_accuracy
 from repro.scenarios.failures import _task_from_param
 from repro.scenarios.registry import PLANNERS, WORKLOADS
 from repro.scenarios.spec import TopologyRecipe
@@ -181,6 +181,7 @@ def generic_bundle(name: str, topology: Topology, source_rates: SourceRates, *,
         topology=topology,
         rates=rates,
         make_logic=make_logic,
+        accuracy_fn=overlap_accuracy,
         sink_task=sinks[0] if sinks else None,
         costs=calibrated_costs(tuple_scale),
         window_seconds=window_seconds,

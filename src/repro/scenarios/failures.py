@@ -21,13 +21,22 @@ Models registered here:
   a shared switch or PDU takes out a whole rack of workers);
 * ``"rolling-restart"`` — kills the victims one at a time on a stagger
   interval (scheduled maintenance: each node goes down, recovers, then the
-  next one is taken down).
+  next one is taken down);
+* ``"flapping"`` — repeated kill/recover cycles of the same victims (the
+  flapping axis of the recovery-benchmarking work, Vogel et al.,
+  arXiv:2404.06203): each cycle kills, waits ``down`` seconds, restores
+  the nodes, waits ``up`` seconds, kills again;
+* ``"detection-jitter"`` — wraps another model and adds a randomized
+  per-victim detection delay on top of the heartbeat (detection-time
+  jitter, same benchmarking axis); deterministic in the seed.
 
 New models plug in with ``@FAILURE_MODELS.register("name")``; the callable
 receives ``(topology, plan, *, seed, **params)`` and returns the victim
 tasks — either a flat sequence (every victim dies at ``FailureSpec.at``) or
 a sequence of :class:`FailureWave` entries whose offsets stagger the kills
-relative to ``FailureSpec.at``.
+relative to ``FailureSpec.at``.  A wave may also carry ``restores`` (tasks
+whose nodes come back up at the wave's offset) and a ``detect_delay``
+(extra per-task detection latency for that wave's kills).
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ import random
 from dataclasses import dataclass
 from typing import AbstractSet, Iterable, Mapping, Sequence
 
+from repro.engine.cluster import placement_node_map
 from repro.errors import ScenarioError
 from repro.scenarios.registry import FAILURE_MODELS
 from repro.topology.graph import Topology
@@ -47,18 +57,33 @@ class FailureWave:
     """One batch of simultaneous kills within a failure model's schedule.
 
     ``offset`` is in seconds relative to the owning
-    :class:`~repro.scenarios.spec.FailureSpec`'s ``at`` time.
+    :class:`~repro.scenarios.spec.FailureSpec`'s ``at`` time.  ``restores``
+    names tasks whose (previously killed) nodes come back up at the same
+    offset — they run *before* the wave's kills, so a wave may bounce a
+    node in place.  ``detect_delay`` adds per-task detection latency to
+    this wave's kills on top of the detecting heartbeat.
     """
 
     offset: float
     tasks: tuple[TaskId, ...]
+    restores: tuple[TaskId, ...] = ()
+    detect_delay: float = 0.0
 
     def __post_init__(self) -> None:
         if self.offset < 0:
             raise ScenarioError(
                 f"failure wave offset must be >= 0, got {self.offset}"
             )
+        if self.detect_delay < 0:
+            raise ScenarioError(
+                f"failure wave detect_delay must be >= 0, got {self.detect_delay}"
+            )
         object.__setattr__(self, "tasks", tuple(self.tasks))
+        object.__setattr__(self, "restores", tuple(self.restores))
+        if not self.tasks and not self.restores:
+            raise ScenarioError(
+                "a failure wave must kill or restore at least one task"
+            )
 
 
 def as_waves(victims: object) -> tuple[FailureWave, ...]:
@@ -83,16 +108,12 @@ def as_waves(victims: object) -> tuple[FailureWave, ...]:
 def parse_task_string(value: str) -> TaskId | None:
     """Parse the serialized ``"Op[i]"`` task spelling; ``None`` if malformed.
 
-    The single source of truth for the string form shared by failure specs
-    and result documents (:meth:`ScenarioResult.from_dict`).
+    The string form is owned by :meth:`TaskId.parse
+    <repro.topology.operators.TaskId.parse>` (the topology layer), so the
+    engine's recovery schemes and the scenario layer agree on it; this
+    wrapper stays as the scenario-layer spelling.
     """
-    if value.endswith("]") and "[" in value:
-        operator, _, index = value[:-1].partition("[")
-        try:
-            return TaskId(operator, int(index))
-        except ValueError:
-            return None
-    return None
+    return TaskId.parse(value)
 
 
 def _task_from_param(topology: Topology, value: object) -> TaskId:
@@ -229,9 +250,7 @@ def rack_correlated(topology: Topology, plan: AbstractSet[TaskId], *, seed: int,
         failing.append(name)
     failing_set = set(failing)
 
-    node_of: dict[TaskId, str] = {}
-    for position, task in enumerate(topology.tasks()):
-        node_of[task] = nodes[position % len(nodes)]
+    pins: dict[TaskId, str] = {}
     if assignment:
         for ref, node_name in assignment.items():
             task = _task_from_param(topology, ref)
@@ -242,7 +261,10 @@ def rack_correlated(topology: Topology, plan: AbstractSet[TaskId], *, seed: int,
                     f"'rack-correlated': task {task} assigned to unknown "
                     f"node {node_name!r}; placement has {known}"
                 )
-            node_of[task] = node_name
+            pins[task] = node_name
+    # Shared with the engine's k-safe scheme, so the blast radius this model
+    # kills is exactly the one replica placement avoids.
+    node_of = placement_node_map(topology.tasks(), nodes, pins)
 
     victims = tuple(
         task for task in topology.tasks()
@@ -304,6 +326,111 @@ def rolling_restart(topology: Topology, plan: AbstractSet[TaskId], *, seed: int,
         FailureWave(position * stagger, (task,))
         for position, task in enumerate(victims)
     )
+
+
+@FAILURE_MODELS.register("flapping")
+def flapping(topology: Topology, plan: AbstractSet[TaskId], *, seed: int,
+             cycles: int = 3, down: float = 4.0, up: float = 6.0,
+             operators: Sequence[str] | None = None,
+             tasks: Iterable[object] | None = None,
+             include_sources: bool = False) -> tuple[FailureWave, ...]:
+    """Repeated kill/recover cycles of the same victims.
+
+    The flapping axis of the recovery-benchmarking suites (Vogel et al.,
+    arXiv:2404.06203): a failure the system recovers from, only for the
+    same nodes to fail again — stressing stale-restore handling, checkpoint
+    freshness and detection bookkeeping in a way one-shot models cannot.
+    Each of the ``cycles`` rounds kills the victims, waits ``down`` seconds,
+    restores their nodes, waits ``up`` seconds, and kills again; the final
+    round leaves them down for normal recovery.  Victim selection matches
+    ``rolling-restart``: every non-source task by default, restricted by
+    ``operators`` or pinned by ``tasks`` (mutually exclusive).
+
+    Example ``failure.params``::
+
+        {"cycles": 3, "down": 4.0, "up": 6.0, "operators": ["O2"]}
+    """
+    if cycles < 1:
+        raise ScenarioError(f"'flapping' needs cycles >= 1, got {cycles}")
+    if down <= 0:
+        raise ScenarioError(f"'flapping' down time must be > 0, got {down}")
+    if up < 0:
+        raise ScenarioError(f"'flapping' up time must be >= 0, got {up}")
+    if operators is not None and tasks is not None:
+        raise ScenarioError("'flapping': pass operators or tasks, not both")
+    victims: list[TaskId]
+    if tasks is not None:
+        victims = [_task_from_param(topology, t) for t in tasks]
+    elif operators is not None:
+        victims = []
+        for name in operators:
+            victims.extend(topology.tasks_of(name))
+    else:
+        victims = list(
+            topology.tasks() if include_sources else synthetic_tasks(topology)
+        )
+    if not victims:
+        raise ScenarioError("'flapping' selected no tasks")
+    killed = tuple(victims)
+    waves: list[FailureWave] = []
+    period = down + up
+    for cycle in range(cycles):
+        waves.append(FailureWave(cycle * period, killed))
+        if cycle < cycles - 1:
+            waves.append(FailureWave(cycle * period + down, (),
+                                     restores=killed))
+    return tuple(waves)
+
+
+@FAILURE_MODELS.register("detection-jitter")
+def detection_jitter(topology: Topology, plan: AbstractSet[TaskId], *,
+                     seed: int, jitter: float = 3.0,
+                     base: str = "correlated",
+                     base_params: Mapping[str, object] | None = None
+                     ) -> tuple[FailureWave, ...]:
+    """Randomized per-failure detection delay over another model's kills.
+
+    Real failure detectors do not fire on a metronome: suspicion timeouts,
+    lossy heartbeats and gossip dissemination smear detection over several
+    seconds (the detection-time axis of Vogel et al., arXiv:2404.06203).
+    This model delegates victim selection to ``base`` (any registered
+    model, with ``base_params``) and gives each victim its own detection
+    delay drawn uniformly from ``[0, jitter]`` seconds — deterministic in
+    the scenario seed.  Restore entries of the base schedule pass through
+    unchanged.
+
+    Example ``failure.params``::
+
+        {"jitter": 4.0, "base": "rolling-restart",
+         "base_params": {"stagger": 2.0}}
+    """
+    if jitter < 0:
+        raise ScenarioError(
+            f"'detection-jitter' jitter must be >= 0, got {jitter}"
+        )
+    base = str(base)
+    if base == "detection-jitter":
+        raise ScenarioError("'detection-jitter' cannot wrap itself")
+    model = FAILURE_MODELS.get(base)
+    params = dict(base_params or {})
+    waves = as_waves(model(topology, plan, seed=seed, **params))
+    # Offset the stream so the wrapper's draws never collide with a base
+    # model that consumed the same seed (e.g. random-k).
+    rng = random.Random(seed ^ 0x9E3779B9)
+    jittered: list[FailureWave] = []
+    for wave in waves:
+        if wave.restores and not wave.tasks:
+            jittered.append(wave)
+            continue
+        for task in wave.tasks:
+            jittered.append(FailureWave(
+                wave.offset, (task,),
+                detect_delay=round(rng.uniform(0.0, jitter), 6),
+            ))
+        if wave.restores:
+            jittered.append(FailureWave(wave.offset, (),
+                                        restores=wave.restores))
+    return tuple(jittered)
 
 
 @FAILURE_MODELS.register("unreplicated")

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import statistics
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
@@ -53,7 +54,7 @@ class WorkloadCaches:
     change results.
     """
 
-    __slots__ = ("plans", "objective_values", "source_memos")
+    __slots__ = ("plans", "objective_values", "source_memos", "sink_baselines")
 
     def __init__(self) -> None:
         #: (planner, params, objective, budget) -> ReplicationPlan
@@ -62,6 +63,9 @@ class WorkloadCaches:
         self.objective_values: dict[tuple, float] = {}
         #: TaskId -> shared MemoizedSource (see StreamEngine.source_memos).
         self.source_memos: dict[TaskId, Any] = {}
+        #: (duration, batch_interval) -> failure-free sink outputs by batch
+        #: index (the accurate reference of the output-quality axis).
+        self.sink_baselines: dict[tuple, dict[int, tuple]] = {}
 
 
 def _parse_task_ref(value: object, *, key: str) -> TaskId:
@@ -108,6 +112,12 @@ class RecoveryOutcome:
     fail_time: float
     detect_time: float
     recovered_time: float | None
+    #: Approximate-recovery fidelity accounting (None for exact schemes):
+    #: the configured divergence bound and the realized loss charged by the
+    #: replay the scheme skipped.  Omitted from :meth:`to_dict` when None so
+    #: exact-scheme results serialize exactly as before.
+    fidelity_bound: float | None = None
+    fidelity_loss: float | None = None
 
     @property
     def latency(self) -> float | None:
@@ -118,9 +128,14 @@ class RecoveryOutcome:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-native representation."""
-        return {"task": str(self.task), "mode": self.mode,
-                "fail_time": self.fail_time, "detect_time": self.detect_time,
-                "recovered_time": self.recovered_time, "latency": self.latency}
+        out = {"task": str(self.task), "mode": self.mode,
+               "fail_time": self.fail_time, "detect_time": self.detect_time,
+               "recovered_time": self.recovered_time, "latency": self.latency}
+        if self.fidelity_bound is not None:
+            out["fidelity_bound"] = self.fidelity_bound
+        if self.fidelity_loss is not None:
+            out["fidelity_loss"] = self.fidelity_loss
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RecoveryOutcome":
@@ -131,7 +146,8 @@ class RecoveryOutcome:
             )
         _check_keys("recovery", data, ("task", "mode", "fail_time",
                                        "detect_time", "recovered_time",
-                                       "latency"))
+                                       "latency", "fidelity_bound",
+                                       "fidelity_loss"))
         if "task" not in data:
             raise ScenarioError("result document is missing the 'task' field")
         return cls(
@@ -140,6 +156,8 @@ class RecoveryOutcome:
             fail_time=_typed(data, "fail_time", float, required=True),
             detect_time=_typed(data, "detect_time", float, required=True),
             recovered_time=_typed(data, "recovered_time", float, nullable=True),
+            fidelity_bound=_typed(data, "fidelity_bound", float, nullable=True),
+            fidelity_loss=_typed(data, "fidelity_loss", float, nullable=True),
         )
 
 
@@ -159,6 +177,11 @@ class ScenarioResult:
     batches_forged: int = 0
     complete_sink_batches: int = 0
     tentative_sink_batches: int = 0
+    #: Mean sink-output accuracy vs a failure-free baseline run (the paper's
+    #: Fig. 12/13 measure), only computed when the scenario requests it via
+    #: ``Scenario.quality``; omitted from :meth:`to_dict` when None so runs
+    #: without the quality axis serialize exactly as before.
+    output_quality: float | None = None
     #: Engine-throughput profile (processed events, wall seconds, peak
     #: physical history) — only collected when the run was profiled, and
     #: machine-dependent, so it never participates in digests or
@@ -201,6 +224,8 @@ class ScenarioResult:
         bit-for-bit comparable.
         """
         out = self._to_dict_base()
+        if self.output_quality is not None:
+            out["output_quality"] = self.output_quality
         if self.profile is not None:
             out["profile"] = dict(self.profile)
         return out
@@ -248,7 +273,8 @@ class ScenarioResult:
             "failed_tasks", "recoveries", "mean_recovery_latency",
             "max_recovery_latency", "all_recovered", "batches_processed",
             "tuples_processed", "checkpoints_taken", "batches_forged",
-            "complete_sink_batches", "tentative_sink_batches", "profile",
+            "complete_sink_batches", "tentative_sink_batches",
+            "output_quality", "profile",
         ))
         profile = data.get("profile")
         if profile is not None and not isinstance(profile, Mapping):
@@ -312,6 +338,7 @@ class ScenarioResult:
             batches_forged=_typed(data, "batches_forged", int, 0),
             complete_sink_batches=_typed(data, "complete_sink_batches", int, 0),
             tentative_sink_batches=_typed(data, "tentative_sink_batches", int, 0),
+            output_quality=_typed(data, "output_quality", float, nullable=True),
             profile=dict(profile) if profile is not None else None,
         )
 
@@ -348,6 +375,11 @@ class ScenarioResult:
             f"{self.batches_processed} batches / "
             f"{self.tuples_processed} tuples processed"
         )
+        if self.output_quality is not None:
+            lines.append(
+                f"output quality vs failure-free baseline: "
+                f"{self.output_quality:.3f}"
+            )
         if self.profile:
             p = self.profile
             lines.append(
@@ -496,6 +528,29 @@ class ScenarioRunner:
                 f"unknown recovery scheme {scheme!r}; registered schemes: "
                 f"{known}"
             )
+        params = {**dict(overrides.pop("recovery_params", None) or {}),
+                  **self.scenario.recovery_params}
+        if scheme == "k-safe" and "placement" not in params:
+            # Auto-wire the scheme onto the blast-radius map the failure
+            # model will actually kill: reuse the node->rack placement (and
+            # any task pins) of the first rack-correlated failure spec, also
+            # when it is wrapped by detection-jitter.  Without one the
+            # scheme degrades to plain PPA, which is the only sound answer
+            # when no failure-domain map exists.
+            for spec in self.scenario.failures:
+                source = dict(spec.params)
+                if (spec.model == "detection-jitter"
+                        and source.get("base") == "rack-correlated"):
+                    source = dict(source.get("base_params") or {})
+                elif spec.model != "rack-correlated":
+                    continue
+                if "placement" in source:
+                    params["placement"] = source["placement"]
+                    if "assignment" in source:
+                        params.setdefault("assignment", source["assignment"])
+                    break
+        if params:
+            overrides["recovery_params"] = params
         try:
             return EngineConfig(costs=costs, **overrides)
         except TypeError as exc:
@@ -558,7 +613,12 @@ class ScenarioRunner:
                         f"t={at:g}s, after the run ends "
                         f"(duration {scenario.duration:g}s)"
                     )
-                engine.schedule_task_failure(at, wave.tasks)
+                if wave.tasks:
+                    engine.schedule_task_failure(
+                        at, wave.tasks, detect_delay=wave.detect_delay
+                    )
+                if wave.restores:
+                    engine.schedule_task_restore(at, wave.restores)
                 for task in wave.tasks:
                     if task not in seen:
                         seen.add(task)
@@ -580,7 +640,9 @@ class ScenarioRunner:
             failed_tasks=tuple(all_victims),
             recoveries=tuple(
                 RecoveryOutcome(r.task, r.mode.value, r.fail_time,
-                                r.detect_time, r.recovered_time)
+                                r.detect_time, r.recovered_time,
+                                fidelity_bound=r.fidelity_bound,
+                                fidelity_loss=r.fidelity_loss)
                 for r in metrics.recoveries
             ),
             batches_processed=metrics.batches_processed,
@@ -589,8 +651,86 @@ class ScenarioRunner:
             batches_forged=metrics.batches_forged,
             complete_sink_batches=len(metrics.sink_outputs(tentative=False)),
             tentative_sink_batches=len(metrics.sink_outputs(tentative=True)),
+            output_quality=(self._measure_quality(bundle, config, engine)
+                            if scenario.quality else None),
             profile=metrics.profile() if self.profile else None,
         )
+
+    # ------------------------------------------------------------------
+    def _measure_quality(self, bundle: QueryBundle, config: EngineConfig,
+                         engine: "StreamEngine") -> float:
+        """Mean sink accuracy of the failure run vs a failure-free baseline.
+
+        The paper's Fig. 12/13 tentative-output-quality measure generalized
+        to any recovery scheme: every sink batch inside the measurement
+        window is compared against the same batch of a clean run with the
+        bundle's accuracy function, and the scores are averaged.  Batches
+        the failure run never produced score as fully lost.
+        """
+        scenario = self.scenario
+        _check_keys("quality", scenario.quality,
+                    ("measure_from", "measure_until"))
+        if bundle.sink_task is None or bundle.accuracy_fn is None:
+            raise ScenarioError(
+                f"workload {scenario.workload!r} does not support the "
+                f"output-quality axis (no sink task / accuracy function)"
+            )
+        interval = config.batch_interval
+        try:
+            # Default window: from the first injected failure (the quality
+            # axis measures degradation, so pre-failure batches would only
+            # dilute it) to just before the end of the run (the last
+            # couple of batches may still be in flight at shutdown).
+            measure_from = float(scenario.quality.get(
+                "measure_from",
+                min((spec.at for spec in scenario.failures), default=0.0),
+            ))
+            measure_until = float(scenario.quality.get(
+                "measure_until", scenario.duration - 2.0 * interval,
+            ))
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(f"quality window: {exc}") from None
+        baseline = self._sink_baseline(bundle, config)
+        produced = {
+            record.index: record.tuples
+            for record in engine.metrics.sink_records
+            if record.task == bundle.sink_task
+        }
+        measured = []
+        for index, accurate in sorted(baseline.items()):
+            batch_time = (index + 1) * interval
+            if measure_from <= batch_time <= measure_until:
+                measured.append(
+                    bundle.accuracy_fn(produced.get(index, ()), accurate)
+                )
+        if not measured:
+            raise ScenarioError(
+                f"no sink batches fall inside the quality window "
+                f"[{measure_from:g}, {measure_until:g}]"
+            )
+        return statistics.fmean(measured)
+
+    def _sink_baseline(self, bundle: QueryBundle, config: EngineConfig
+                       ) -> dict[int, tuple]:
+        """Accurate sink outputs of a failure-free run, memoized per workload."""
+        key = (self.scenario.duration, config.batch_interval)
+        caches = self._caches
+        if caches is not None:
+            hit = caches.sink_baselines.get(key)
+            if hit is not None:
+                return hit
+        clean = EngineConfig(batch_interval=config.batch_interval,
+                             checkpoint_interval=None, costs=bundle.costs)
+        reference = StreamEngine(bundle.topology, bundle.make_logic(), clean)
+        reference.run(self.scenario.duration)
+        baseline = {
+            record.index: record.tuples
+            for record in reference.metrics.sink_records
+            if record.task == bundle.sink_task
+        }
+        if caches is not None:
+            caches.sink_baselines[key] = baseline
+        return baseline
 
 
 def run_scenario(scenario: Scenario, *, profile: bool = False) -> ScenarioResult:

@@ -238,10 +238,25 @@ class Scenario:
         Fault-tolerance scheme, by
         :data:`~repro.engine.recovery.RECOVERY_SCHEMES` registry name
         (``"ppa"``, ``"checkpoint-replay"``, ``"source-replay"``,
-        ``"active-standby"``, ...).  Empty (the default) keeps the engine's
-        default scheme (``"ppa"``) *and* is omitted from ``to_dict()``, so
-        the scenario digest — and therefore every existing cache entry —
-        is unchanged for scenarios that never select a scheme.
+        ``"active-standby"``, ``"approximate-ft"``, ``"k-safe"``,
+        ``"adaptive-checkpoint"``, ...).  Empty (the default) keeps the
+        engine's default scheme (``"ppa"``) *and* is omitted from
+        ``to_dict()``, so the scenario digest — and therefore every
+        existing cache entry — is unchanged for scenarios that never
+        select a scheme.
+    recovery_params:
+        Keyword arguments for the scheme factory (e.g.
+        ``{"fidelity_bound": 0.2}`` for ``"approximate-ft"``).  Empty is
+        omitted from ``to_dict()``, same digest rule as ``recovery``.
+    quality:
+        Tentative-output quality measurement settings (the paper's
+        Fig. 12/13 axis).  Non-empty enables the measurement: the runner
+        compares the run's sink outputs against a failure-free baseline
+        and reports the mean accuracy as ``ScenarioResult.output_quality``.
+        Keys: ``measure_from`` (seconds; default: the first failure time)
+        and ``measure_until`` (default: near the run's end).  Empty (the
+        default) skips the baseline run entirely and is omitted from
+        ``to_dict()``, same digest rule as ``recovery``.
     failures:
         The failure schedule, earliest first.
     duration:
@@ -261,6 +276,8 @@ class Scenario:
     budget_fraction: float | None = None
     engine: dict[str, Any] = field(default_factory=dict)
     recovery: str = ""
+    recovery_params: dict[str, Any] = field(default_factory=dict)
+    quality: dict[str, Any] = field(default_factory=dict)
     failures: tuple[FailureSpec, ...] = ()
     duration: float = 60.0
     seed: int = 0
@@ -269,6 +286,8 @@ class Scenario:
         object.__setattr__(self, "workload_params", _jsonify(self.workload_params))
         object.__setattr__(self, "planner_params", _jsonify(self.planner_params))
         object.__setattr__(self, "engine", _jsonify(self.engine))
+        object.__setattr__(self, "recovery_params", _jsonify(self.recovery_params))
+        object.__setattr__(self, "quality", _jsonify(self.quality))
         object.__setattr__(self, "failures", tuple(self.failures))
         if not self.workload:
             # Unset workload: an explicit recipe means "run my topology",
@@ -324,6 +343,13 @@ class Scenario:
             # Omitted when default so the scenario digest (and every cache
             # entry keyed on it) is unchanged for scheme-less scenarios.
             out["recovery"] = self.recovery
+        if self.recovery_params:
+            # Same digest rule: only scenarios that set scheme parameters
+            # carry them.
+            out["recovery_params"] = _jsonify(self.recovery_params)
+        if self.quality:
+            # Same digest rule: only quality-measuring scenarios carry it.
+            out["quality"] = _jsonify(self.quality)
         return out
 
     @classmethod
@@ -332,7 +358,8 @@ class Scenario:
         _check_keys("scenario", data, (
             "name", "workload", "workload_params", "topology", "planner",
             "planner_params", "objective", "budget", "budget_fraction",
-            "engine", "recovery", "failures", "duration", "seed",
+            "engine", "recovery", "recovery_params", "quality", "failures",
+            "duration", "seed",
         ))
         topology = data.get("topology")
         budget = data.get("budget")
@@ -349,6 +376,8 @@ class Scenario:
             budget_fraction=float(fraction) if fraction is not None else None,
             engine=dict(data.get("engine", {})),
             recovery=str(data.get("recovery", "")),
+            recovery_params=dict(data.get("recovery_params", {})),
+            quality=dict(data.get("quality", {})),
             failures=tuple(FailureSpec.from_dict(f) for f in data.get("failures", ())),
             duration=float(data.get("duration", 60.0)),
             seed=int(data.get("seed", 0)),

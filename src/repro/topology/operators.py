@@ -46,6 +46,28 @@ class TaskId(NamedTuple):
 
     __str__ = __repr__
 
+    @classmethod
+    def parse(cls, value: str) -> "TaskId | None":
+        """Parse the ``"O1[0]"`` rendering back into a :class:`TaskId`.
+
+        Returns ``None`` when ``value`` is not of that shape (callers decide
+        whether that is an error or a plain operator name).
+
+        >>> TaskId.parse("O2[1]")
+        O2[1]
+        >>> TaskId.parse("O2") is None
+        True
+        """
+        if not value.endswith("]") or "[" not in value:
+            return None
+        operator, _, index = value[:-1].partition("[")
+        if not operator:
+            return None
+        try:
+            return cls(operator, int(index))
+        except ValueError:
+            return None
+
 
 def _uniform_weights(n: int) -> tuple[float, ...]:
     return tuple(1.0 / n for _ in range(n))

@@ -39,7 +39,7 @@ from repro.queries.incidents import (
     SpeedIncidentJoinOperator,
     incident_accuracy,
 )
-from repro.queries.synthetic import WindowedSelectivityOperator
+from repro.queries.synthetic import WindowedSelectivityOperator, overlap_accuracy
 from repro.queries.topk import (
     GlobalTopKOperator,
     MergeAggregateOperator,
@@ -143,6 +143,7 @@ def fig6_bundle(rate_per_source: float = 1000.0, window_seconds: float = 30.0,
         topology=topology,
         rates=rates,
         make_logic=make_logic,
+        accuracy_fn=overlap_accuracy,
         sink_task=TaskId("O4", 0),
         costs=calibrated_costs(tuple_scale),
         window_seconds=window_seconds,

@@ -73,7 +73,12 @@ def run_scenario_engine(scenario) -> StreamEngine:
                           plan=plan, **kwargs)
     for spec in scenario.failures:
         for wave in runner.failure_waves(spec, bundle, plan):
-            engine.schedule_task_failure(spec.at + wave.offset, wave.tasks)
+            at = spec.at + wave.offset
+            if wave.tasks:
+                engine.schedule_task_failure(at, wave.tasks,
+                                             detect_delay=wave.detect_delay)
+            if wave.restores:
+                engine.schedule_task_restore(at, wave.restores)
     engine.run(scenario.duration)
     return engine
 

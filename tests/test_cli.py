@@ -210,6 +210,74 @@ class TestRecoveryFlag:
         assert "cli-tiny/recovery=active-standby" in out
 
 
+class TestNameValidation:
+    """Unknown scheme/model names must fail upfront and list the choices."""
+
+    def test_scenario_unknown_failure_model_lists_models(self, tmp_path,
+                                                         capsys):
+        spec = tiny_scenario_dict()
+        spec["failures"] = [{"model": "meteor-strike", "at": 8.0}]
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(spec))
+        assert main(["scenario", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "'meteor-strike'" in err
+        assert "registered models" in err
+        for name in ("flapping", "detection-jitter", "rack-correlated"):
+            assert name in err
+
+    def test_grid_unknown_failure_model_fails_before_running(self, tmp_path,
+                                                             capsys):
+        base = tiny_scenario_dict()
+        bad = dict(base, failures=[{"model": "nope", "at": 8.0}])
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({"scenarios": [base, bad]}))
+        assert main(["grid", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert "registered models" in captured.err
+        assert "grid:" not in captured.out, "no cell may run on bad input"
+
+    def test_grid_unknown_recovery_flag_lists_schemes(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({"base": tiny_scenario_dict()}))
+        assert main(["grid", str(path), "--recovery", "ppa", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "'bogus'" in err
+        assert "registered schemes" in err
+        for name in ("approximate-ft", "k-safe", "adaptive-checkpoint"):
+            assert name in err
+
+    def test_recovery_override_drops_stale_scheme_params(self, tmp_path,
+                                                         capsys):
+        spec = tiny_scenario_dict()
+        spec["recovery"] = "approximate-ft"
+        spec["recovery_params"] = {"fidelity_bound": 0.5}
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(spec))
+        # Overriding to a scheme that doesn't know fidelity_bound must not
+        # forward the stale params to it.
+        assert main(["scenario", str(path), "--recovery", "active-standby",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"]["recovery"] == "active-standby"
+        assert "recovery_params" not in data["scenario"]
+        # Re-selecting the scheme the params were written for keeps them.
+        assert main(["scenario", str(path), "--recovery", "approximate-ft",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"]["recovery_params"] == {"fidelity_bound": 0.5}
+
+    def test_scenario_new_schemes_accepted(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(tiny_scenario_dict()))
+        for scheme in ("approximate-ft", "k-safe", "adaptive-checkpoint"):
+            assert main(["scenario", str(path), "--recovery", scheme,
+                         "--json"]) == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["scenario"]["recovery"] == scheme
+            assert data["all_recovered"]
+
+
 class TestCacheSubcommand:
     def _populated_cache(self, tmp_path, capsys, n_budgets=3):
         grid = tmp_path / "grid.json"
